@@ -1,0 +1,185 @@
+(* prism-ycsb: a YCSB-style command line driver for every store in this
+   repository.
+
+     dune exec bin/prism_ycsb.exe -- --store prism --workload a
+     dune exec bin/prism_ycsb.exe -- --store kvell --records 50000 \
+         --threads 32 --theta 1.2 --workload load,a,c,e
+
+   Throughput and latency are virtual time: the simulated Optane + NVMe
+   machine's clock, not this process's wall clock. *)
+
+open Prism_sim
+open Prism_harness
+open Prism_workload
+
+let mix_of_name = function
+  | "a" -> Some Ycsb.ycsb_a
+  | "b" -> Some Ycsb.ycsb_b
+  | "c" -> Some Ycsb.ycsb_c
+  | "d" -> Some Ycsb.ycsb_d
+  | "e" -> Some Ycsb.ycsb_e
+  | "nutanix" -> Some Ycsb.nutanix
+  | _ -> None
+
+let replay_trace engine kv ~threads path =
+  match Trace.load ~path with
+  | Error e -> Printf.eprintf "cannot load trace %s: %s\n" path e
+  | Ok trace ->
+      let r, u, i, s, d = Trace.summary trace in
+      Printf.printf "replaying %s: %d ops (%dR %dU %dI %dS %dD)\n" path
+        (Array.length trace) r u i s d;
+      let lat = Hist.create () in
+      let latch = Sync.Latch.create threads in
+      let engine_ref = engine in
+      let t_start = ref nan and t_end = ref nan in
+      for tid = 0 to threads - 1 do
+        Engine.spawn engine (fun () ->
+            if Float.is_nan !t_start then t_start := Engine.now engine_ref;
+            Array.iteri
+              (fun i op ->
+                if i mod threads = tid then begin
+                  let t0 = Engine.now engine_ref in
+                  (match op with
+                  | Trace.Delete k -> ignore (kv.Kv.delete ~tid k)
+                  | op -> (
+                      match Trace.materialize op with
+                      | Ycsb.Read k -> ignore (kv.Kv.get ~tid k)
+                      | Ycsb.Update (k, v) | Ycsb.Insert (k, v) ->
+                          kv.Kv.put ~tid k v
+                      | Ycsb.Scan (k, n) -> ignore (kv.Kv.scan ~tid k n)));
+                  Hist.record_span lat (Engine.now engine_ref -. t0)
+                end)
+              trace;
+            t_end := Engine.now engine_ref;
+            Sync.Latch.arrive latch)
+      done;
+      Engine.spawn engine (fun () -> Sync.Latch.wait latch);
+      ignore (Engine.run engine);
+      Printf.printf
+        "trace replay: %.1f kops/s virtual (avg %.1f us, p99 %.1f us)\n"
+        (float_of_int (Array.length trace) /. (!t_end -. !t_start) /. 1e3)
+        (Hist.mean lat /. 1e3)
+        (Hist.to_us (Hist.percentile lat 99.0))
+
+let run store_name workloads records value_size threads num_ssds theta ops
+    trace_out trace_in =
+  let scenario =
+    {
+      Setup.default_scenario with
+      records;
+      value_size;
+      threads;
+      num_ssds;
+      theta;
+      ops;
+      scan_ops = max 1 (ops / 10);
+    }
+  in
+  let make =
+    match String.lowercase_ascii store_name with
+    | "prism" -> fun e -> fst (Setup.prism e scenario)
+    | "kvell" -> fun e -> Setup.kvell e scenario
+    | "matrixkv" -> fun e -> Setup.matrixkv e scenario
+    | "rocksdb-nvm" | "rocksdb" -> fun e -> Setup.rocksdb_nvm e scenario
+    | "slm-db" | "slmdb" -> fun e -> Setup.slmdb e scenario
+    | other -> failwith ("unknown store: " ^ other)
+  in
+  let engine = Engine.create () in
+  let kv = make engine in
+  Printf.printf "store=%s records=%d value=%dB threads=%d ssds=%d zipf=%.2f\n\n"
+    kv.Kv.name records value_size threads num_ssds theta;
+  (match trace_out with
+  | Some path ->
+      (* Record the first named mix into a replayable trace file. *)
+      let mix =
+        match
+          String.split_on_char ',' (String.lowercase_ascii workloads)
+          |> List.filter_map mix_of_name
+        with
+        | m :: _ -> m
+        | [] -> Ycsb.ycsb_a
+      in
+      let gen =
+        Ycsb.create mix ~records ~theta ~value_size
+          (Rng.create scenario.Setup.seed)
+      in
+      let trace = Trace.record gen ~ops in
+      Trace.save trace ~path;
+      Printf.printf "recorded %d %s-ops to %s\n" ops mix.Ycsb.name path
+  | None -> ());
+  let phases = String.split_on_char ',' (String.lowercase_ascii workloads) in
+  List.iter
+    (fun phase ->
+      match phase with
+      | "load" ->
+          let r =
+            Runner.load engine kv ~threads ~records ~value_size
+              ~seed:scenario.Setup.seed
+          in
+          Format.printf "%a@." Runner.pp_result r
+      | name -> (
+          match mix_of_name name with
+          | Some mix ->
+              let r =
+                Runner.run engine kv mix ~threads ~records
+                  ~ops:(if mix.Ycsb.name = "E" then scenario.Setup.scan_ops else ops)
+                  ~theta ~value_size ~seed:scenario.Setup.seed
+              in
+              Format.printf "%a@." Runner.pp_result r
+          | None -> Printf.eprintf "skipping unknown workload %S\n" name))
+    phases;
+  (match trace_in with
+  | Some path -> replay_trace engine kv ~threads path
+  | None -> ());
+  Printf.printf "\nSSD bytes written: %.1f MB; NVM bytes written: %.1f MB\n"
+    (float_of_int (kv.Kv.ssd_bytes_written ()) /. 1048576.0)
+    (float_of_int (kv.Kv.nvm_bytes_written ()) /. 1048576.0)
+
+let () =
+  let open Cmdliner in
+  let store =
+    Arg.(
+      value & opt string "prism"
+      & info [ "store" ] ~doc:"prism | kvell | matrixkv | rocksdb-nvm | slm-db")
+  in
+  let workload =
+    Arg.(
+      value & opt string "load,a,b,c,d,e"
+      & info [ "workload" ] ~doc:"Comma-separated: load,a,b,c,d,e,nutanix")
+  in
+  let records =
+    Arg.(value & opt int 20_000 & info [ "records" ] ~doc:"Dataset size in keys")
+  in
+  let value_size =
+    Arg.(value & opt int 256 & info [ "value-size" ] ~doc:"Value bytes")
+  in
+  let threads =
+    Arg.(value & opt int 16 & info [ "threads" ] ~doc:"Client threads")
+  in
+  let ssds = Arg.(value & opt int 4 & info [ "ssds" ] ~doc:"Simulated SSDs") in
+  let theta =
+    Arg.(value & opt float 0.99 & info [ "theta" ] ~doc:"Zipfian coefficient")
+  in
+  let ops =
+    Arg.(value & opt int 20_000 & info [ "ops" ] ~doc:"Operations per workload")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~doc:"Record the first workload to a trace file")
+  in
+  let trace_in =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-in" ] ~doc:"Replay a recorded trace after the workloads")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "prism-ycsb" ~doc:"Run YCSB workloads on simulated KV stores")
+      Term.(
+        const run $ store $ workload $ records $ value_size $ threads $ ssds
+        $ theta $ ops $ trace_out $ trace_in)
+  in
+  exit (Cmd.eval cmd)

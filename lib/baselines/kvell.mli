@@ -1,0 +1,55 @@
+(** KVell (Lepers et al., SOSP'19) substitute: a shared-nothing,
+    share-nothing key-value store on DRAM + SSD.
+
+    The key space is hash-partitioned across worker threads (the paper
+    runs three workers per SSD). Each worker owns: an in-memory B-tree
+    index mapping keys to 4 KiB disk pages, slab-style pages grouped by
+    item size class, a slice of the DRAM page cache, and an io_uring with
+    queue depth 64 on its SSD. There is no WAL and no commit log: a write
+    is durable when its page write completes; updates of uncached items
+    are read-modify-write (§7.3).
+
+    Clients enqueue requests to the owning worker and wait; workers batch
+    up to a full queue depth of IOs per round — which is where KVell's
+    throughput comes from, and also its queueing-induced tail latency
+    (§7.3). Scans fan out to every worker and merge, costing one page
+    read per item in the worst case (§7.3, Workload E). *)
+
+type t
+
+val create :
+  Prism_sim.Engine.t ->
+  cost:Prism_device.Cost.t ->
+  rng:Prism_sim.Rng.t ->
+  ssd_specs:Prism_device.Spec.t list ->
+  workers_per_ssd:int ->
+  queue_depth:int ->
+  page_cache_bytes:int ->
+  t
+
+val workers : t -> int
+
+val put : t -> string -> bytes -> unit
+
+(** [put_async t key value] enqueues the write to its worker and returns
+    immediately with the completion ivar — KVell's injector threads keep
+    worker queues deep rather than waiting per request (§7.1: 16 injector
+    threads, queue depth 64). Per-worker FIFO order still guarantees
+    read-your-writes for any single key. *)
+val put_async : t -> string -> bytes -> unit Prism_sim.Sync.Ivar.t
+
+val get : t -> string -> bytes option
+
+val delete : t -> string -> bool
+
+val scan : t -> from:string -> count:int -> (string * bytes) list
+
+(** Aggregate SSD bytes written (WAF numerator). *)
+val ssd_bytes_written : t -> int
+
+(** [recover t] models restart: every worker scans its entire SSD slice to
+    rebuild its in-memory index (§7.6: "KVell needs to scan the entire
+    SSD"). Charges device time; returns when all workers finish. *)
+val recover : t -> unit
+
+val quiesce : t -> unit

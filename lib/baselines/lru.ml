@@ -1,0 +1,103 @@
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;
+  mutable next : ('k, 'v) node option;
+}
+
+type ('k, 'v) t = {
+  capacity : int;
+  weight : 'v -> int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option; (* most recently used *)
+  mutable tail : ('k, 'v) node option;
+  mutable used : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity ~weight () =
+  if capacity <= 0 then invalid_arg "Lru.create: capacity <= 0";
+  {
+    capacity;
+    weight;
+    table = Hashtbl.create 256;
+    head = None;
+    tail = None;
+    used = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> ());
+  t.head <- Some node;
+  if t.tail = None then t.tail <- Some node
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+  | Some node ->
+      t.hits <- t.hits + 1;
+      unlink t node;
+      push_front t node;
+      Some node.value
+
+let drop_node t node =
+  unlink t node;
+  Hashtbl.remove t.table node.key;
+  t.used <- t.used - t.weight node.value
+
+let evict_to_fit t =
+  while t.used > t.capacity && t.tail <> None do
+    match t.tail with Some node -> drop_node t node | None -> ()
+  done
+
+let add t k v =
+  (match Hashtbl.find_opt t.table k with
+  | Some node ->
+      t.used <- t.used - t.weight node.value + t.weight v;
+      node.value <- v;
+      unlink t node;
+      push_front t node
+  | None ->
+      let node = { key = k; value = v; prev = None; next = None } in
+      Hashtbl.add t.table k node;
+      push_front t node;
+      t.used <- t.used + t.weight v);
+  evict_to_fit t
+
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | Some node -> drop_node t node
+  | None -> ()
+
+let mem t k = Hashtbl.mem t.table k
+
+let used_bytes t = t.used
+
+let entries t = Hashtbl.length t.table
+
+let hits t = t.hits
+
+let misses t = t.misses
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None;
+  t.used <- 0

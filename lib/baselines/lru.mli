@@ -1,0 +1,29 @@
+(** Byte-bounded LRU cache with O(1) operations, used for LSM block caches
+    and KVell's page cache. *)
+
+type ('k, 'v) t
+
+(** [create ~capacity ~weight ()] — [capacity] in bytes; [weight v] is the
+    byte cost of a cached value. *)
+val create : capacity:int -> weight:('v -> int) -> unit -> ('k, 'v) t
+
+(** [find t k] returns the value and marks it most-recently-used. *)
+val find : ('k, 'v) t -> 'k -> 'v option
+
+(** [add t k v] inserts (replacing any previous binding) and evicts LRU
+    entries until the cache fits its capacity. *)
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+
+val remove : ('k, 'v) t -> 'k -> unit
+
+val mem : ('k, 'v) t -> 'k -> bool
+
+val used_bytes : ('k, 'v) t -> int
+
+val entries : ('k, 'v) t -> int
+
+val hits : ('k, 'v) t -> int
+
+val misses : ('k, 'v) t -> int
+
+val clear : ('k, 'v) t -> unit

@@ -1,0 +1,99 @@
+type t = {
+  threads : int;
+  pwb_size : int;
+  pwb_watermark : float;
+  svc_capacity : int;
+  num_value_storages : int;
+  vs_size : int;
+  chunk_size : int;
+  vs_gc_watermark : float;
+  queue_depth : int;
+  hsit_capacity : int;
+  key_index : [ `Btree | `Art ];
+  nvm_size : int;
+  nvm_spec : Prism_device.Spec.t;
+  ssd_spec : Prism_device.Spec.t;
+  dram_spec : Prism_device.Spec.t;
+  cost : Prism_device.Cost.t;
+  use_thread_combining : bool;
+  ta_timeout : float;
+  use_svc : bool;
+  scan_reorganize : bool;
+  async_reclaim : bool;
+  seed : int64;
+}
+
+let kib = 1024
+
+let mib = 1024 * 1024
+
+let default =
+  {
+    threads = 4;
+    pwb_size = 1 * mib;
+    pwb_watermark = 0.5;
+    svc_capacity = 8 * mib;
+    num_value_storages = 2;
+    vs_size = 32 * mib;
+    chunk_size = 64 * kib;
+    vs_gc_watermark = 0.75;
+    queue_depth = 64;
+    hsit_capacity = 1 lsl 17;
+    key_index = `Btree;
+    nvm_size = 32 * mib;
+    nvm_spec = Prism_device.Spec.optane_dcpmm;
+    ssd_spec = Prism_device.Spec.samsung_980_pro;
+    dram_spec = Prism_device.Spec.dram;
+    cost = Prism_device.Cost.default;
+    use_thread_combining = true;
+    ta_timeout = 100e-6;
+    use_svc = true;
+    scan_reorganize = true;
+    async_reclaim = true;
+    seed = 0x5eedL;
+  }
+
+let scaled ~threads ~keys ~value_size t =
+  let dataset = keys * (value_size + 32) in
+  let hsit_capacity =
+    let c = ref 1024 in
+    while !c < 2 * keys do
+      c := !c * 2
+    done;
+    !c
+  in
+  let pwb_size = max (256 * kib) (dataset / (8 * threads)) in
+  let vs_size =
+    (* Room for roughly 3x the dataset per the VS count, so GC has
+       headroom. *)
+    let per_vs = 3 * dataset / t.num_value_storages in
+    max (8 * mib) (Prism_sim.Bits.round_up per_vs t.chunk_size)
+  in
+  {
+    t with
+    threads;
+    hsit_capacity;
+    pwb_size;
+    vs_size;
+    svc_capacity = max t.svc_capacity (dataset / 4);
+    nvm_size = (threads * pwb_size) + (hsit_capacity * 16) + (16 * mib);
+  }
+
+let validate t =
+  let check cond msg = if not cond then invalid_arg ("Config: " ^ msg) in
+  check (t.threads > 0) "threads <= 0";
+  check (t.pwb_size > 4096) "pwb_size too small";
+  check (t.pwb_watermark > 0.0 && t.pwb_watermark < 1.0) "pwb_watermark";
+  check (t.num_value_storages > 0) "num_value_storages <= 0";
+  check (t.chunk_size > 0) "chunk_size <= 0";
+  check (t.vs_size mod t.chunk_size = 0) "chunk_size must divide vs_size";
+  check (t.vs_size / t.chunk_size >= 4) "need at least 4 chunks";
+  check
+    (t.vs_gc_watermark > 0.0 && t.vs_gc_watermark < 1.0)
+    "vs_gc_watermark";
+  check (t.queue_depth > 0) "queue_depth <= 0";
+  check (t.hsit_capacity > 0) "hsit_capacity <= 0";
+  check
+    (t.nvm_size >= (t.threads * t.pwb_size) + (t.hsit_capacity * 16))
+    "nvm_size cannot hold PWBs + HSIT";
+  check (t.ta_timeout > 0.0) "ta_timeout <= 0"

@@ -1,0 +1,44 @@
+(** Prism configuration: component sizes, device choices, and feature
+    toggles (the latter drive the §7.6 ablation experiments). *)
+
+type t = {
+  threads : int;  (** application threads; one PWB each (§4.3) *)
+  pwb_size : int;  (** bytes of NVM write buffer per thread *)
+  pwb_watermark : float;  (** reclamation trigger, fraction of PWB (0.5) *)
+  svc_capacity : int;  (** DRAM bytes for the Scan-aware Value Cache *)
+  num_value_storages : int;  (** one per SSD (§5.1) *)
+  vs_size : int;  (** bytes per Value Storage *)
+  chunk_size : int;  (** log-structured chunk, 512 KiB (§5.1) *)
+  vs_gc_watermark : float;  (** GC trigger: fraction of chunks in use *)
+  queue_depth : int;  (** io_uring ring size / TCQ coalescing limit (64) *)
+  hsit_capacity : int;  (** maximum number of live keys *)
+  key_index : [ `Btree | `Art ];
+      (** Persistent Key Index implementation — the paper stresses Prism
+          accepts any range index (§4.1, §6) *)
+  nvm_size : int;  (** total simulated NVM bytes (index + HSIT + PWBs) *)
+  nvm_spec : Prism_device.Spec.t;
+  ssd_spec : Prism_device.Spec.t;
+  dram_spec : Prism_device.Spec.t;
+  cost : Prism_device.Cost.t;
+  (* Feature toggles for ablations (§7.6). *)
+  use_thread_combining : bool;
+      (** true: TCQ (§5.3); false: timeout-based async IO (TA) *)
+  ta_timeout : float;  (** TA flush timeout when TCQ is off (100 us) *)
+  use_svc : bool;  (** false disables the DRAM value cache *)
+  scan_reorganize : bool;  (** false disables SVC sort-on-evict (§4.4) *)
+  async_reclaim : bool;
+      (** false makes PWB reclamation block the application thread *)
+  seed : int64;
+}
+
+(** A small-footprint default suitable for tests: 4 threads, 1 MiB PWBs,
+    8 MiB SVC, 2 Value Storages of 32 MiB, 64 KiB chunks. *)
+val default : t
+
+(** [scaled ~threads ~keys ~value_size t] grows buffer/cache/storage sizes
+    to sensible proportions for a dataset of [keys] values. *)
+val scaled : threads:int -> keys:int -> value_size:int -> t -> t
+
+(** Sanity-check invariants (chunk divides VS size, positive sizes, ...).
+    Raises [Invalid_argument] when violated. *)
+val validate : t -> unit

@@ -1,0 +1,111 @@
+type t =
+  | Nowhere
+  | In_pwb of { thread : int; voff : int }
+  | In_vs of { vs : int; gen : int; chunk : int; slot : int }
+
+let equal a b =
+  match (a, b) with
+  | Nowhere, Nowhere -> true
+  | In_pwb a, In_pwb b -> a.thread = b.thread && a.voff = b.voff
+  | In_vs a, In_vs b ->
+      a.vs = b.vs && a.gen = b.gen && a.chunk = b.chunk && a.slot = b.slot
+  | (Nowhere | In_pwb _ | In_vs _), _ -> false
+
+let same_slot a b =
+  match (a, b) with
+  | In_vs a, In_vs b -> a.vs = b.vs && a.chunk = b.chunk && a.slot = b.slot
+  | (Nowhere | In_pwb _ | In_vs _), _ -> false
+
+let pp fmt = function
+  | Nowhere -> Format.fprintf fmt "nowhere"
+  | In_pwb { thread; voff } -> Format.fprintf fmt "pwb[%d]@%d" thread voff
+  | In_vs { vs; gen; chunk; slot } ->
+      Format.fprintf fmt "vs[%d]chunk%d.%d slot%d" vs chunk gen slot
+
+let dirty_bit = Int64.shift_left 1L 62
+
+let tag_shift = 60
+
+(* In_vs payload layout (low to high):
+   slot 15 bits | chunk 20 bits | gen 17 bits | vs 8 bits = 60 bits. *)
+let slot_bits = 15
+
+let chunk_bits = 20
+
+let gen_bits = 17
+
+let max_thread = (1 lsl 12) - 1
+
+let max_voff = (1 lsl 44) - 1
+
+let max_vs = (1 lsl 8) - 1
+
+let max_chunk = (1 lsl chunk_bits) - 1
+
+let max_slot = (1 lsl slot_bits) - 1
+
+let gen_mask = (1 lsl gen_bits) - 1
+
+let encode loc ~dirty =
+  let payload =
+    match loc with
+    | Nowhere -> 0L
+    | In_pwb { thread; voff } ->
+        if thread < 0 || thread > max_thread then
+          invalid_arg "Location.encode: thread out of range";
+        if voff < 0 || voff > max_voff then
+          invalid_arg "Location.encode: voff out of range";
+        Int64.logor
+          (Int64.shift_left (Int64.of_int thread) 44)
+          (Int64.of_int voff)
+    | In_vs { vs; gen; chunk; slot } ->
+        if vs < 0 || vs > max_vs then
+          invalid_arg "Location.encode: vs out of range";
+        if chunk < 0 || chunk > max_chunk then
+          invalid_arg "Location.encode: chunk out of range";
+        if slot < 0 || slot > max_slot then
+          invalid_arg "Location.encode: slot out of range";
+        let gen = gen land gen_mask in
+        Int64.of_int
+          (slot
+          lor (chunk lsl slot_bits)
+          lor (gen lsl (slot_bits + chunk_bits))
+          lor (vs lsl (slot_bits + chunk_bits + gen_bits)))
+  in
+  let tag =
+    match loc with Nowhere -> 0L | In_pwb _ -> 1L | In_vs _ -> 2L
+  in
+  let w = Int64.logor (Int64.shift_left tag tag_shift) payload in
+  if dirty then Int64.logor w dirty_bit else w
+
+let mask bits = Int64.of_int ((1 lsl bits) - 1)
+
+let decode w =
+  let dirty = Int64.logand w dirty_bit <> 0L in
+  let tag =
+    Int64.to_int (Int64.logand (Int64.shift_right_logical w tag_shift) 3L)
+  in
+  let loc =
+    match tag with
+    | 0 -> Nowhere
+    | 1 ->
+        let thread =
+          Int64.to_int (Int64.logand (Int64.shift_right_logical w 44) (mask 12))
+        in
+        let voff = Int64.to_int (Int64.logand w (mask 44)) in
+        In_pwb { thread; voff }
+    | 2 ->
+        let p = Int64.to_int (Int64.logand w (mask 60)) in
+        let slot = p land max_slot in
+        let chunk = (p lsr slot_bits) land max_chunk in
+        let gen = (p lsr (slot_bits + chunk_bits)) land gen_mask in
+        let vs = (p lsr (slot_bits + chunk_bits + gen_bits)) land max_vs in
+        In_vs { vs; gen; chunk; slot }
+    | _ -> invalid_arg "Location.decode: bad tag"
+  in
+  (loc, dirty)
+
+let set_dirty w b =
+  if b then Int64.logor w dirty_bit else Int64.logand w (Int64.lognot dirty_bit)
+
+let truncate_gen gen = gen land gen_mask

@@ -1,0 +1,39 @@
+(** Value locations across heterogeneous media, and their packed 64-bit
+    encoding stored in HSIT entries.
+
+    Encoding of the primary word:
+    - bit 62: dirty bit for the flush-on-read protocol (§5.4);
+    - bits 61..60: tag (0 nowhere, 1 PWB, 2 Value Storage);
+    - PWB payload: thread id (12 bits) and virtual offset (44 bits);
+    - VS payload: value-storage id (8 bits), chunk generation (17 bits),
+      chunk (20 bits), slot (15 bits).
+
+    The generation is the chunk's reuse counter: it makes a location into
+    a tagged pointer, so a stale reference into a recycled chunk can never
+    be confused with the chunk's new contents (ABA protection for the
+    lock-free HSIT CAS protocol). *)
+
+type t =
+  | Nowhere
+  | In_pwb of { thread : int; voff : int }
+  | In_vs of { vs : int; gen : int; chunk : int; slot : int }
+
+val equal : t -> t -> bool
+
+(** Equality ignoring the generation tag — used during recovery, when
+    generations restart from zero. *)
+val same_slot : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+(** [encode loc ~dirty] packs a location and dirty bit. *)
+val encode : t -> dirty:bool -> int64
+
+(** [decode w] is the location and dirty bit packed in [w]. *)
+val decode : int64 -> t * bool
+
+(** [set_dirty w b] returns [w] with the dirty bit forced to [b]. *)
+val set_dirty : int64 -> bool -> int64
+
+(** Generations are stored modulo 2^17. *)
+val truncate_gen : int -> int

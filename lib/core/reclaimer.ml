@@ -1,0 +1,140 @@
+open Prism_sim
+
+type t = {
+  engine : Engine.t;
+  pwb : Pwb.t;
+  hsit : Hsit.t;
+  storages : Value_storage.t array;
+  rng : Rng.t;
+  watermark : float;
+  wakeup : unit Sync.Mailbox.t;
+  mutable running : bool;
+  mutable in_pass : bool;
+  reclaimed : Metric.Counter.t;
+  dead : Metric.Counter.t;
+}
+
+let create engine ~pwb ~hsit ~storages ~rng ~watermark =
+  if Array.length storages = 0 then invalid_arg "Reclaimer.create: no storages";
+  {
+    engine;
+    pwb;
+    hsit;
+    storages;
+    rng;
+    watermark;
+    wakeup = Sync.Mailbox.create ();
+    running = false;
+    in_pass = false;
+    reclaimed = Metric.Counter.create ();
+    dead = Metric.Counter.create ();
+  }
+
+let reclaimed_values t = Metric.Counter.value t.reclaimed
+
+let skipped_dead t = Metric.Counter.value t.dead
+
+(* Prism randomly picks one of the idle Value Storages (no in-flight
+   requests); if all are busy, any random one (§5.2). *)
+let pick_storage t =
+  let idle =
+    Array.to_list t.storages |> List.filter Value_storage.is_idle
+  in
+  match idle with
+  | [] -> t.storages.(Rng.int t.rng (Array.length t.storages))
+  | idle -> List.nth idle (Rng.int t.rng (List.length idle))
+
+(* Write one batch of live values to a chunk and repoint their HSIT
+   entries; values whose entry moved on while the chunk was in flight stay
+   invalid in the bitmap (they are garbage in the new chunk). *)
+let flush_batch t batch =
+  match List.rev batch with
+  | [] -> ()
+  | values ->
+      let vs = pick_storage t in
+      let chunk, gen, done_ =
+        Value_storage.write_chunk vs
+          (List.map (fun (hsit_id, payload, _) -> (hsit_id, payload)) values)
+      in
+      ignore (Sync.Ivar.read done_);
+      List.iteri
+        (fun slot (hsit_id, _, voff) ->
+          let from_ =
+            Location.In_pwb { thread = Pwb.thread t.pwb; voff }
+          in
+          let to_ =
+            Location.In_vs { vs = Value_storage.id vs; gen; chunk; slot }
+          in
+          if Hsit.update_primary t.hsit hsit_id ~expect:from_ to_ then begin
+            Value_storage.set_valid vs ~gen ~chunk ~slot true;
+            Metric.Counter.incr t.reclaimed
+          end)
+        values;
+      Value_storage.seal vs ~chunk;
+      Value_storage.poke_gc vs
+
+let reclaim_now t =
+  if t.in_pass then ()
+  else begin
+    t.in_pass <- true;
+    Fun.protect
+      ~finally:(fun () -> t.in_pass <- false)
+      (fun () ->
+        let target_tail = Pwb.tail t.pwb in
+        let budget =
+          Value_storage.chunk_size t.storages.(0) - (4 * 16)
+        in
+        let rec scan pos batch batch_bytes =
+          match Pwb.next_record t.pwb ~voff:pos with
+          | Some (voff, hsit_id, len) when voff < target_tail ->
+              let next = voff + Pwb.record_extent ~len in
+              let here = Location.In_pwb { thread = Pwb.thread t.pwb; voff } in
+              let live =
+                Location.equal (Hsit.read_primary t.hsit hsit_id) here
+              in
+              if not live then begin
+                (* Superseded or deleted: skip without any SSD write. *)
+                Metric.Counter.incr t.dead;
+                scan next batch batch_bytes
+              end
+              else begin
+                let record_bytes = Pwb.record_extent ~len in
+                if batch_bytes + record_bytes > budget then begin
+                  flush_batch t batch;
+                  (* Space up to (and excluding) this record is migrated or
+                     dead; release it to unblock appenders. *)
+                  Pwb.advance_head t.pwb ~to_:voff;
+                  scan pos [] 0
+                end
+                else begin
+                  let _, payload = Pwb.read t.pwb ~voff in
+                  scan next
+                    ((hsit_id, payload, voff) :: batch)
+                    (batch_bytes + record_bytes)
+                end
+              end
+          | Some _ | None ->
+              flush_batch t batch;
+              Pwb.advance_head t.pwb ~to_:(min target_tail (Pwb.tail t.pwb))
+        in
+        scan (Pwb.head t.pwb) [] 0)
+  end
+
+let maybe_trigger t =
+  if Pwb.utilization t.pwb >= t.watermark then
+    if t.running then begin
+      if Sync.Mailbox.is_empty t.wakeup && not t.in_pass then
+        Sync.Mailbox.send t.wakeup ()
+    end
+    else reclaim_now t
+
+let start t =
+  if t.running then invalid_arg "Reclaimer.start: already running";
+  t.running <- true;
+  Engine.spawn t.engine (fun () ->
+      let rec loop () =
+        Sync.Mailbox.recv t.wakeup;
+        reclaim_now t;
+        loop ()
+      in
+      loop ())

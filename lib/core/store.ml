@@ -1,0 +1,713 @@
+open Prism_sim
+open Prism_device
+open Prism_media
+
+type stats = {
+  mutable puts : int;
+  mutable gets : int;
+  mutable deletes : int;
+  mutable scans : int;
+  mutable svc_hits : int;
+  mutable pwb_hits : int;
+  mutable vs_reads : int;
+  mutable misses : int;
+}
+
+type read_path = Tc of Tcq.t | Ta of Ta_batcher.t
+
+(* The Persistent Key Index behind a uniform face: the paper's design has
+   no dependency on a particular range index (§4.1, §6), and the library
+   ships two — a B+-tree and an adaptive radix tree. *)
+type key_index = {
+  ki_find : string -> int option;
+  ki_insert : string -> int -> int option;
+  ki_delete : string -> bool;
+  ki_scan : from:string -> count:int -> (string * int) list;
+  ki_bindings : unit -> (string * int) list;
+  ki_length : unit -> int;
+  ki_bytes : unit -> int;
+}
+
+let btree_index ~on_access =
+  let t = Prism_index.Btree.create ~on_access () in
+  {
+    ki_find = Prism_index.Btree.find t;
+    ki_insert = Prism_index.Btree.insert t;
+    ki_delete = Prism_index.Btree.delete t;
+    ki_scan = (fun ~from ~count -> Prism_index.Btree.scan t ~from ~count);
+    ki_bindings =
+      (fun () ->
+        List.rev (Prism_index.Btree.fold t [] (fun acc k v -> (k, v) :: acc)));
+    ki_length = (fun () -> Prism_index.Btree.length t);
+    ki_bytes = (fun () -> Prism_index.Btree.approx_bytes t);
+  }
+
+let art_index ~on_access =
+  let t = Prism_index.Art.create ~on_access () in
+  {
+    ki_find = Prism_index.Art.find t;
+    ki_insert = Prism_index.Art.insert t;
+    ki_delete = Prism_index.Art.delete t;
+    ki_scan = (fun ~from ~count -> Prism_index.Art.scan t ~from ~count);
+    ki_bindings =
+      (fun () ->
+        List.rev (Prism_index.Art.fold t [] (fun acc k v -> (k, v) :: acc)));
+    ki_length = (fun () -> Prism_index.Art.length t);
+    ki_bytes = (fun () -> Prism_index.Art.approx_bytes t);
+  }
+
+type t = {
+  engine : Engine.t;
+  cfg : Config.t;
+  nvm : Nvm.t;
+  hsit : Hsit.t;
+  epoch : Epoch.t;
+  index : key_index;
+  index_reads : int ref;
+  index_writes : int ref;
+  vss : Value_storage.t array;
+  read_paths : read_path array;
+  pwbs : Pwb.t array;
+  reclaimers : Reclaimer.t array;
+  svc : Svc.t option;
+  rng : Rng.t;
+  stats : stats;
+}
+
+let stats t = t.stats
+
+let config t = t.cfg
+
+let svc t = t.svc
+
+let value_storages t = t.vss
+
+let nvm t = t.nvm
+
+(* The Key Index is charged as NVM traffic, but its structural mutations
+   must be atomic with respect to the cooperative scheduler (PACTree is
+   lock-free; our B+-tree is not). So node visits only *accumulate* sizes,
+   and the accumulated traffic is billed in one access after the index
+   operation completes. *)
+let charge_index t =
+  let r = !(t.index_reads) and w = !(t.index_writes) in
+  t.index_reads := 0;
+  t.index_writes := 0;
+  if r > 0 then Model.access (Nvm.device t.nvm) Model.Read ~size:r;
+  if w > 0 then begin
+    Model.access (Nvm.device t.nvm) Model.Write ~size:w;
+    Engine.delay
+      (t.cfg.Config.cost.Cost.flush_line
+       *. float_of_int (Prism_sim.Bits.ceil_div w 64)
+      +. t.cfg.Config.cost.Cost.fence)
+  end
+
+let reorganize_members t members =
+  (* Sort-on-evict write-back (§4.4): rewrite a scan chain contiguously
+     into Value Storage. Members arrive sorted by key. *)
+  let budget = t.cfg.Config.chunk_size - (4 * 16) in
+  let flush batch =
+    match List.rev batch with
+    | [] -> ()
+    | batch ->
+        let vs =
+          let idle =
+            Array.to_list t.vss |> List.filter Value_storage.is_idle
+          in
+          match idle with
+          | [] -> t.vss.(Rng.int t.rng (Array.length t.vss))
+          | idle -> List.nth idle (Rng.int t.rng (List.length idle))
+        in
+        let chunk, gen, done_ =
+          Value_storage.write_chunk vs
+            (List.map (fun m -> (m.Svc.hsit_id, m.Svc.value)) batch)
+        in
+        ignore (Sync.Ivar.read done_);
+        List.iteri
+          (fun slot m ->
+            let to_ =
+              Location.In_vs { vs = Value_storage.id vs; gen; chunk; slot }
+            in
+            if
+              Hsit.update_primary t.hsit m.Svc.hsit_id
+                ~expect:m.Svc.cached_from to_
+            then begin
+              Value_storage.set_valid vs ~gen ~chunk ~slot true;
+              match m.Svc.cached_from with
+              | Location.In_vs { vs = old_vs; gen; chunk; slot } ->
+                  Value_storage.set_valid t.vss.(old_vs) ~gen ~chunk ~slot
+                    false
+              | Location.Nowhere | Location.In_pwb _ -> ()
+            end)
+          batch;
+        Value_storage.seal vs ~chunk;
+        Value_storage.poke_gc vs
+  in
+  let rec batch_up acc acc_bytes = function
+    | [] -> flush acc
+    | m :: rest ->
+        let sz = 16 + Prism_sim.Bits.round_up (Bytes.length m.Svc.value) 16 in
+        if acc_bytes + sz > budget && acc <> [] then begin
+          flush acc;
+          batch_up [ m ] sz rest
+        end
+        else batch_up (m :: acc) (acc_bytes + sz) rest
+  in
+  batch_up [] 0 members
+
+let create engine cfg =
+  Config.validate cfg;
+  let nvm =
+    Nvm.create engine ~cost:cfg.Config.cost ~spec:cfg.Config.nvm_spec
+      ~size:cfg.Config.nvm_size ()
+  in
+  let hsit = Hsit.create nvm ~capacity:cfg.Config.hsit_capacity in
+  let epoch =
+    Epoch.create
+      ~threads:(cfg.Config.threads + cfg.Config.num_value_storages + 2)
+  in
+  let index_reads = ref 0 and index_writes = ref 0 in
+  let on_access kind bytes =
+    match kind with
+    | `Read -> index_reads := !index_reads + bytes
+    | `Write -> index_writes := !index_writes + bytes
+  in
+  let index =
+    match cfg.Config.key_index with
+    | `Btree -> btree_index ~on_access
+    | `Art -> art_index ~on_access
+  in
+  let vss =
+    Array.init cfg.Config.num_value_storages (fun i ->
+        Value_storage.create engine ~id:i ~size:cfg.Config.vs_size
+          ~chunk_size:cfg.Config.chunk_size
+          ~queue_depth:cfg.Config.queue_depth ~spec:cfg.Config.ssd_spec
+          ~cost:cfg.Config.cost ~gc_watermark:cfg.Config.vs_gc_watermark)
+  in
+  let read_paths =
+    Array.map
+      (fun vs ->
+        if cfg.Config.use_thread_combining then
+          Tc
+            (Tcq.create (Value_storage.uring vs)
+               ~limit:cfg.Config.queue_depth ~cost:cfg.Config.cost)
+        else begin
+          let ta =
+            Ta_batcher.create engine (Value_storage.uring vs)
+              ~limit:cfg.Config.queue_depth ~timeout:cfg.Config.ta_timeout
+              ~cost:cfg.Config.cost
+          in
+          Ta_batcher.start ta;
+          Ta ta
+        end)
+      vss
+  in
+  let rng = Rng.create cfg.Config.seed in
+  let pwbs =
+    Array.init cfg.Config.threads (fun i ->
+        Pwb.create nvm ~thread:i ~size:cfg.Config.pwb_size)
+  in
+  let reclaimers =
+    Array.map
+      (fun pwb ->
+        Reclaimer.create engine ~pwb ~hsit ~storages:vss ~rng:(Rng.split rng)
+          ~watermark:cfg.Config.pwb_watermark)
+      pwbs
+  in
+  if cfg.Config.async_reclaim then Array.iter Reclaimer.start reclaimers;
+  let svc =
+    if cfg.Config.use_svc then begin
+      let svc =
+        Svc.create engine ~capacity:cfg.Config.svc_capacity
+          ~cost:cfg.Config.cost ~epoch ~hsit
+      in
+      Svc.start_manager svc;
+      Some svc
+    end
+    else None
+  in
+  let t =
+    {
+      engine;
+      cfg;
+      nvm;
+      hsit;
+      epoch;
+      index;
+      index_reads;
+      index_writes;
+      vss;
+      read_paths;
+      pwbs;
+      reclaimers;
+      svc;
+      rng;
+      stats =
+        {
+          puts = 0;
+          gets = 0;
+          deletes = 0;
+          scans = 0;
+          svc_hits = 0;
+          pwb_hits = 0;
+          vs_reads = 0;
+          misses = 0;
+        };
+    }
+  in
+  (match (svc, cfg.Config.scan_reorganize) with
+  | Some svc, true -> Svc.set_reorganize svc (reorganize_members t)
+  | Some _, false | None, _ -> ());
+  Array.iter
+    (fun vs ->
+      Value_storage.start_gc vs ~relocate:(fun ~hsit_id ~from_ ~to_ ->
+          Hsit.update_primary hsit hsit_id ~expect:from_ to_))
+    vss;
+  t
+
+let length t = t.index.ki_length ()
+
+let nvm_index_bytes t = t.index.ki_bytes () + Hsit.bytes t.hsit
+
+let ssd_bytes_written t =
+  Array.fold_left
+    (fun acc vs -> acc + Model.bytes_written (Value_storage.device vs))
+    0 t.vss
+
+let nvm_bytes_written t = Model.bytes_written (Nvm.device t.nvm)
+
+let gc_runs t =
+  Array.fold_left (fun acc vs -> acc + Value_storage.gc_runs vs) 0 t.vss
+
+let reclaim_stats t =
+  Array.fold_left
+    (fun (m, d) r ->
+      (m + Reclaimer.reclaimed_values r, d + Reclaimer.skipped_dead r))
+    (0, 0) t.reclaimers
+
+let mean_read_batch t =
+  let reqs, batches =
+    Array.fold_left
+      (fun (r, b) -> function
+        | Tc tcq -> (r + Tcq.requests tcq, b + Tcq.batches tcq)
+        | Ta ta -> (r + Ta_batcher.requests ta, b + Ta_batcher.batches ta))
+      (0, 0) t.read_paths
+  in
+  if batches = 0 then 0.0 else float_of_int reqs /. float_of_int batches
+
+let pp_stats fmt t =
+  let st = t.stats in
+  let reads = st.svc_hits + st.pwb_hits + st.vs_reads in
+  let pct part =
+    if reads = 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int reads
+  in
+  let migrated, superseded = reclaim_stats t in
+  Format.fprintf fmt
+    "@[<v>ops: %d puts, %d gets, %d deletes, %d scans@,\
+     reads served: %.0f%% DRAM cache, %.0f%% NVM write buffer, %.0f%% SSD@,\
+     reclamation: %d values migrated, %d superseded versions skipped@,\
+     value-storage GC passes: %d; mean read batch: %.1f@]"
+    st.puts st.gets st.deletes st.scans (pct st.svc_hits) (pct st.pwb_hits)
+    (pct st.vs_reads) migrated superseded (gc_runs t) (mean_read_batch t)
+
+let read_vs t ~vs entry =
+  match t.read_paths.(vs) with
+  | Tc tcq -> Tcq.read tcq entry
+  | Ta ta -> Ta_batcher.read ta entry
+
+let read_vs_many t ~vs entries =
+  match t.read_paths.(vs) with
+  | Tc tcq -> Tcq.read_many tcq entries
+  | Ta ta -> Ta_batcher.read_many ta entries
+
+(* ---- write path (§5.4, §5.5) ---- *)
+
+let invalidate_old t old =
+  match old with
+  | Location.In_vs { vs; gen; chunk; slot } ->
+      Value_storage.set_valid t.vss.(vs) ~gen ~chunk ~slot false
+  | Location.Nowhere | Location.In_pwb _ -> ()
+
+let put t ~tid key value =
+  if Bytes.length value = 0 then invalid_arg "Store.put: empty value";
+  t.stats.puts <- t.stats.puts + 1;
+  Epoch.with_pinned t.epoch ~tid (fun () ->
+      let found = t.index.ki_find key in
+      charge_index t;
+      match found with
+      | Some id ->
+          (* Update: value to PWB first (durability), then repoint HSIT —
+             the linearization point (§5.4). *)
+          let voff = Pwb.append t.pwbs.(tid) ~hsit_id:id ~value in
+          let old = Hsit.read_primary t.hsit id in
+          Hsit.write_primary t.hsit id
+            (Location.In_pwb { thread = tid; voff });
+          invalidate_old t old;
+          (match t.svc with
+          | Some svc -> Svc.invalidate svc ~hsit_id:id
+          | None -> ());
+          Reclaimer.maybe_trigger t.reclaimers.(tid)
+      | None ->
+          let id = Hsit.alloc t.hsit in
+          let voff = Pwb.append t.pwbs.(tid) ~hsit_id:id ~value in
+          Hsit.write_primary t.hsit id
+            (Location.In_pwb { thread = tid; voff });
+          let prev = t.index.ki_insert key id in
+          charge_index t;
+          (match prev with
+          | None -> ()
+          | Some other ->
+              (* A concurrent insert of the same key slipped in between
+                 our lookup and our insert; its entry is now unreachable.
+                 Retire it after two epochs. *)
+              let hsit = t.hsit in
+              Epoch.retire t.epoch (fun () -> Hsit.free hsit other));
+          Reclaimer.maybe_trigger t.reclaimers.(tid))
+
+let delete t ~tid key =
+  t.stats.deletes <- t.stats.deletes + 1;
+  Epoch.with_pinned t.epoch ~tid (fun () ->
+      (* Lookup and removal happen back-to-back with no suspension point,
+         so the id we retire is exactly the binding we removed — a yield
+         in between would let a concurrent delete+reinsert swap the
+         binding and leak its HSIT entry. *)
+      let found = t.index.ki_find key in
+      let removed = match found with Some _ -> t.index.ki_delete key | None -> false in
+      charge_index t;
+      match found with
+      | None -> false
+      | Some id ->
+          if not removed then false
+          else begin
+            (match t.svc with
+            | Some svc -> Svc.invalidate svc ~hsit_id:id
+            | None -> ());
+            let old = Hsit.read_primary t.hsit id in
+            Hsit.write_primary t.hsit id Location.Nowhere;
+            invalidate_old t old;
+            let hsit = t.hsit in
+            Epoch.retire t.epoch (fun () -> Hsit.free hsit id);
+            true
+          end)
+
+(* ---- read path (§4.4, §5.3) ---- *)
+
+let try_svc t ~id =
+  match t.svc with
+  | None -> None
+  | Some svc -> (
+      match Hsit.read_svc t.hsit id with
+      | None -> None
+      | Some idx -> Svc.lookup svc ~idx ~hsit_id:id)
+
+let admit_to_svc t ~id ~key ~value ~loc =
+  match t.svc with
+  | None -> None
+  | Some svc -> (
+      match Svc.admit svc ~hsit_id:id ~key ~value ~cached_from:loc with
+      | None -> None
+      | Some idx ->
+          (* Verify-after-publish: if a writer moved the value while we
+             were caching it, unpublish our stale copy. The writer's own
+             invalidate covers the symmetric interleaving. *)
+          let now = Hsit.read_primary t.hsit id in
+          if Location.equal now loc then Some idx
+          else begin
+            Svc.invalidate svc ~hsit_id:id;
+            None
+          end)
+
+let rec get_resolved ?(attempt = 0) t ~tid ~id ~key =
+  if attempt > 1000 then begin
+    let loc = Hsit.read_primary t.hsit id in
+    let detail =
+      match loc with
+      | Location.In_pwb { thread; voff } ->
+          Printf.sprintf "pwb[%d]@%d head=%d tail=%d" thread voff
+            (Pwb.head t.pwbs.(thread))
+            (Pwb.tail t.pwbs.(thread))
+      | Location.In_vs { vs; gen; chunk; slot } ->
+          Printf.sprintf "vs[%d]chunk%d gen%d (cur gen%d) slot%d free=%d" vs
+            chunk gen
+            (Value_storage.chunk_gen t.vss.(vs) ~chunk)
+            slot
+            (Value_storage.free_chunks t.vss.(vs))
+      | Location.Nowhere -> "nowhere"
+    in
+    failwith
+      (Printf.sprintf "Store.get livelock: key=%s id=%d loc=%s" key id detail)
+  end;
+  let retry () = get_resolved ~attempt:(attempt + 1) t ~tid ~id ~key in
+  match try_svc t ~id with
+  | Some value ->
+      t.stats.svc_hits <- t.stats.svc_hits + 1;
+      Some value
+  | None -> (
+      let loc = Hsit.read_primary t.hsit id in
+      match loc with
+      | Location.Nowhere -> None
+      | Location.In_pwb { thread; voff } ->
+          if voff < Pwb.head t.pwbs.(thread) then
+            (* Reclaimed while we were looking; retry. *)
+            retry ()
+          else begin
+            let bid, payload = Pwb.read t.pwbs.(thread) ~voff in
+            if bid <> id then retry ()
+            else begin
+              t.stats.pwb_hits <- t.stats.pwb_hits + 1;
+              Some payload
+            end
+          end
+      | Location.In_vs { vs; gen; chunk; slot } -> (
+          match Value_storage.slot_backptr t.vss.(vs) ~gen ~chunk ~slot with
+          | Some bp when bp = id -> (
+              let cell = ref None in
+              match
+                Value_storage.read_entry t.vss.(vs) ~gen ~chunk ~slot ~cell
+              with
+              | None -> retry ()
+              | Some entry -> (
+                  read_vs t ~vs entry;
+                  t.stats.vs_reads <- t.stats.vs_reads + 1;
+                  match !cell with
+                  | None ->
+                      (* The chunk was recycled while the IO was in
+                         flight; retry from HSIT. *)
+                      retry ()
+                  | Some value ->
+                      ignore (admit_to_svc t ~id ~key ~value ~loc);
+                      Some value))
+          | Some _ | None -> retry ()))
+
+let get t ~tid key =
+  t.stats.gets <- t.stats.gets + 1;
+  Epoch.with_pinned t.epoch ~tid (fun () ->
+      let found = t.index.ki_find key in
+      charge_index t;
+      match found with
+      | None ->
+          t.stats.misses <- t.stats.misses + 1;
+          None
+      | Some id -> (
+          match get_resolved t ~tid ~id ~key with
+          | None ->
+              t.stats.misses <- t.stats.misses + 1;
+              None
+          | Some v -> Some v))
+
+(* ---- scan (§4.4) ---- *)
+
+type scan_pending = {
+  sp_key : string;
+  sp_id : int;
+  sp_cell : bytes option ref;
+}
+
+let scan t ~tid key count =
+  t.stats.scans <- t.stats.scans + 1;
+  Epoch.with_pinned t.epoch ~tid (fun () ->
+      let bindings = t.index.ki_scan ~from:key ~count in
+      charge_index t;
+      (* Resolve fast paths first and gather Value-Storage reads so they
+         can be coalesced into large batches per storage. *)
+      let results = Array.make (List.length bindings) None in
+      let pending = Array.make (Array.length t.vss) [] in
+      List.iteri
+        (fun i (k, id) ->
+          match try_svc t ~id with
+          | Some value ->
+              t.stats.svc_hits <- t.stats.svc_hits + 1;
+              results.(i) <- Some (k, value)
+          | None -> (
+              let loc = Hsit.read_primary t.hsit id in
+              match loc with
+              | Location.Nowhere -> ()
+              | Location.In_pwb { thread; voff } ->
+                  if voff >= Pwb.head t.pwbs.(thread) then begin
+                    let bid, payload = Pwb.read t.pwbs.(thread) ~voff in
+                    if bid = id then begin
+                      t.stats.pwb_hits <- t.stats.pwb_hits + 1;
+                      results.(i) <- Some (k, payload)
+                    end
+                  end
+              | Location.In_vs { vs; gen; chunk; slot } -> (
+                  match
+                    Value_storage.slot_backptr t.vss.(vs) ~gen ~chunk ~slot
+                  with
+                  | Some bp when bp = id ->
+                      let cell = ref None in
+                      pending.(vs) <-
+                        ( i,
+                          { sp_key = k; sp_id = id; sp_cell = cell },
+                          loc,
+                          (gen, chunk, slot) )
+                        :: pending.(vs)
+                  | Some _ | None -> ())))
+        bindings;
+      (* Coalesce reads per chunk: values that a previous scan's
+         reorganization placed contiguously now cost one IO for the whole
+         run (§4.4 "reduces SSD IO for subsequent scan operations"). *)
+      Array.iteri
+        (fun vs reqs ->
+          match reqs with
+          | [] -> ()
+          | reqs ->
+              t.stats.vs_reads <- t.stats.vs_reads + List.length reqs;
+              let by_chunk = Hashtbl.create 8 in
+              List.iter
+                (fun (_, sp, _, (gen, chunk, slot)) ->
+                  let cur =
+                    Option.value ~default:[]
+                      (Hashtbl.find_opt by_chunk (gen, chunk))
+                  in
+                  Hashtbl.replace by_chunk (gen, chunk)
+                    ((slot, sp.sp_cell) :: cur))
+                reqs;
+              let entries =
+                Hashtbl.fold
+                  (fun (gen, chunk) slots acc ->
+                    match
+                      Value_storage.read_run_entry t.vss.(vs) ~gen ~chunk
+                        ~slots
+                    with
+                    | Some entry -> entry :: acc
+                    | None -> acc)
+                  by_chunk []
+              in
+              read_vs_many t ~vs entries)
+        pending;
+      (* Admit fetched values and link the whole range into a scan chain so
+         an eviction rewrites them contiguously (§4.4). *)
+      let chain = ref [] in
+      Array.iter
+        (fun reqs ->
+          List.iter
+            (fun (i, sp, loc, _) ->
+              match !(sp.sp_cell) with
+              | None -> ()
+              | Some value ->
+                  results.(i) <- Some (sp.sp_key, value);
+                  (match
+                     admit_to_svc t ~id:sp.sp_id ~key:sp.sp_key ~value ~loc
+                   with
+                  | Some idx -> chain := idx :: !chain
+                  | None -> ()))
+            reqs)
+        pending;
+      (match t.svc with
+      | Some svc when t.cfg.Config.scan_reorganize && List.length !chain >= 2
+        ->
+          Svc.link_chain svc (List.rev !chain)
+      | Some _ | None -> ());
+      Array.to_list results |> List.filter_map Fun.id)
+
+(* ---- crash & recovery (§5.5) ---- *)
+
+let crash t =
+  Nvm.crash t.nvm;
+  (match t.svc with Some svc -> Svc.clear svc | None -> ());
+  Epoch.reset t.epoch
+
+let recover t =
+  (* 1. Full scan of the (crash-consistent) Key Index for reachable HSIT
+     entries; the paper parallelizes this over key ranges — virtual time
+     charges the same total work. *)
+  let reachable = Hashtbl.create 4096 in
+  let bindings = t.index.ki_bindings () in
+  (* Bulk charge for the full index scan (leaf walk at NVM bandwidth). *)
+  Model.access (Nvm.device t.nvm) Model.Read ~size:(t.index.ki_bytes ());
+  List.iter (fun (_, id) -> Hashtbl.replace reachable id ()) bindings;
+  (* 2. Re-initialize reachable entries (clears dirty bits, nullifies SVC
+     pointers) and validate PWB couplings. *)
+  let pwb_ranges = Array.make (Array.length t.pwbs) None in
+  let lost = ref [] in
+  List.iter
+    (fun (key, id) ->
+      Hsit.recover_entry t.hsit id;
+      match Hsit.durable_primary t.hsit id with
+      | Location.Nowhere -> lost := (key, id) :: !lost
+      | Location.In_pwb { thread; voff } -> (
+          match Pwb.read_durable t.pwbs.(thread) ~voff with
+          | Some (bid, _) when bid = id ->
+              let extent =
+                match Pwb.read_durable t.pwbs.(thread) ~voff with
+                | Some (_, payload) ->
+                    Pwb.record_extent ~len:(Bytes.length payload)
+                | None -> 0
+              in
+              let lo, hi =
+                match pwb_ranges.(thread) with
+                | None -> (voff, voff + extent)
+                | Some (lo, hi) -> (min lo voff, max hi (voff + extent))
+              in
+              pwb_ranges.(thread) <- Some (lo, hi)
+          | Some _ | None -> lost := (key, id) :: !lost)
+      | Location.In_vs _ ->
+          (* Validity established by the Value Storage scan below. *)
+          ())
+    bindings;
+  (* 3. Rebuild per-chunk validity bitmaps from backward/forward pointer
+     coupling. *)
+  Array.iter
+    (fun vs ->
+      Value_storage.recover vs ~couple:(fun ~hsit_id loc ->
+          Hashtbl.mem reachable hsit_id
+          && Location.same_slot (Hsit.durable_primary t.hsit hsit_id) loc))
+    t.vss;
+  (* Chunk generations restarted at zero: canonicalize the generation bits
+     of every recovered In_vs pointer so live lookups validate. *)
+  List.iter
+    (fun (_, id) ->
+      match Hsit.durable_primary t.hsit id with
+      | Location.In_vs { vs; gen = _; chunk; slot } ->
+          Hsit.restore_primary t.hsit id
+            (Location.In_vs { vs; gen = 0; chunk; slot })
+      | Location.Nowhere | Location.In_pwb _ -> ())
+    bindings;
+  (* VS entries whose slot vanished (in-flight chunk write lost) are gone. *)
+  List.iter
+    (fun (key, id) ->
+      match Hsit.durable_primary t.hsit id with
+      | Location.In_vs { vs; gen = _; chunk; slot } ->
+          if not (Value_storage.is_valid t.vss.(vs) ~gen:0 ~chunk ~slot) then
+            lost := (key, id) :: !lost
+      | Location.Nowhere | Location.In_pwb _ -> ())
+    bindings;
+  (* 4. Drop lost keys from the index so the store is consistent. *)
+  List.iter
+    (fun (key, id) ->
+      ignore (t.index.ki_delete key);
+      Hashtbl.remove reachable id)
+    !lost;
+  charge_index t;
+  (* 5. Reset allocator state. *)
+  Hsit.rebuild_free_list t.hsit ~reachable:(fun id ->
+      Hashtbl.mem reachable id);
+  Array.iteri
+    (fun i pwb ->
+      match pwb_ranges.(i) with
+      | None -> Pwb.reset_range pwb ~head:(Pwb.tail pwb) ~tail:(Pwb.tail pwb)
+      | Some (lo, hi) -> Pwb.reset_range pwb ~head:lo ~tail:hi)
+    t.pwbs;
+  (* Bulk charges: every reachable HSIT entry is read and rewritten (16 B
+     each), and each PWB coupling check reads a record header. Recovery is
+     parallelized over key ranges in the paper, so latency overlaps and
+     bandwidth binds — a single large access models exactly that. *)
+  let n = Hashtbl.length reachable in
+  Model.access (Nvm.device t.nvm) Model.Read ~size:(16 * (n + 1));
+  Model.access (Nvm.device t.nvm) Model.Write ~size:(16 * (n + 1));
+  n
+
+let quiesce t =
+  let watermark = t.cfg.Config.pwb_watermark in
+  let rec wait () =
+    let busy =
+      Array.exists (fun pwb -> Pwb.utilization pwb >= watermark) t.pwbs
+    in
+    if busy then begin
+      Array.iter Reclaimer.maybe_trigger t.reclaimers;
+      Engine.delay 100e-6;
+      wait ()
+    end
+  in
+  wait ()

@@ -1,0 +1,406 @@
+open Prism_sim
+open Prism_device
+
+type member = {
+  hsit_id : int;
+  key : string;
+  value : bytes;
+  cached_from : Location.t;
+}
+
+type lru = No_list | Inactive | Active
+
+type state = Free | Live | Retired
+
+type entry = {
+  mutable e_hsit : int;
+  mutable e_key : string;
+  mutable e_value : bytes;
+  mutable e_from : Location.t;
+  mutable e_state : state;
+  mutable e_lru : lru;
+  mutable prev : int;
+  mutable next : int;
+  mutable cprev : int;
+  mutable cnext : int;
+  mutable referenced : bool;
+}
+
+type dlist = {
+  mutable head : int;
+  mutable tail : int;
+  mutable bytes : int;
+  mutable count : int;
+}
+
+type msg = Admit of int | Touch of int | Drop of int
+
+type t = {
+  engine : Engine.t;
+  capacity : int;
+  cost : Cost.t;
+  epoch : Epoch.t;
+  hsit : Hsit.t;
+  mutable entries : entry array;
+  mutable nalloc : int;
+  mutable free : int list;
+  inactive : dlist;
+  active : dlist;
+  mailbox : msg Sync.Mailbox.t;
+  mutable pending_bytes : int;
+  mutable reorganize : (member list -> unit) option;
+  evictions : Metric.Counter.t;
+  reorgs : Metric.Counter.t;
+  mutable manager_running : bool;
+}
+
+let entry_overhead = 64
+
+let fresh_entry () =
+  {
+    e_hsit = -1;
+    e_key = "";
+    e_value = Bytes.empty;
+    e_from = Location.Nowhere;
+    e_state = Free;
+    e_lru = No_list;
+    prev = -1;
+    next = -1;
+    cprev = -1;
+    cnext = -1;
+    referenced = false;
+  }
+
+let create engine ~capacity ~cost ~epoch ~hsit =
+  if capacity <= 0 then invalid_arg "Svc.create: capacity <= 0";
+  {
+    engine;
+    capacity;
+    cost;
+    epoch;
+    hsit;
+    entries = Array.init 64 (fun _ -> fresh_entry ());
+    nalloc = 0;
+    free = [];
+    inactive = { head = -1; tail = -1; bytes = 0; count = 0 };
+    active = { head = -1; tail = -1; bytes = 0; count = 0 };
+    mailbox = Sync.Mailbox.create ();
+    pending_bytes = 0;
+    reorganize = None;
+    evictions = Metric.Counter.create ();
+    reorgs = Metric.Counter.create ();
+    manager_running = false;
+  }
+
+let set_reorganize t f = t.reorganize <- Some f
+
+let entry t idx = t.entries.(idx)
+
+let entry_bytes e = entry_overhead + String.length e.e_key + Bytes.length e.e_value
+
+(* ---- intrusive LRU lists ---- *)
+
+let list_of t = function
+  | Inactive -> t.inactive
+  | Active -> t.active
+  | No_list -> invalid_arg "Svc: entry not on a list"
+
+let push_front t which idx =
+  let l = list_of t which in
+  let e = entry t idx in
+  assert (e.e_lru = No_list);
+  e.e_lru <- which;
+  e.prev <- -1;
+  e.next <- l.head;
+  if l.head >= 0 then (entry t l.head).prev <- idx;
+  l.head <- idx;
+  if l.tail < 0 then l.tail <- idx;
+  l.bytes <- l.bytes + entry_bytes e;
+  l.count <- l.count + 1
+
+let unlink t idx =
+  let e = entry t idx in
+  match e.e_lru with
+  | No_list -> ()
+  | which ->
+      let l = list_of t which in
+      if e.prev >= 0 then (entry t e.prev).next <- e.next else l.head <- e.next;
+      if e.next >= 0 then (entry t e.next).prev <- e.prev else l.tail <- e.prev;
+      e.prev <- -1;
+      e.next <- -1;
+      e.e_lru <- No_list;
+      l.bytes <- l.bytes - entry_bytes e;
+      l.count <- l.count - 1
+
+(* ---- scan chains ---- *)
+
+let chain_unlink t idx =
+  let e = entry t idx in
+  if e.cprev >= 0 then (entry t e.cprev).cnext <- e.cnext;
+  if e.cnext >= 0 then (entry t e.cnext).cprev <- e.cprev;
+  e.cprev <- -1;
+  e.cnext <- -1
+
+let chain_members t idx =
+  let e = entry t idx in
+  let rec back i = if (entry t i).cprev >= 0 then back (entry t i).cprev else i in
+  let start = back idx in
+  let rec collect acc i =
+    let acc = i :: acc in
+    if (entry t i).cnext >= 0 then collect acc (entry t i).cnext else List.rev acc
+  in
+  ignore e;
+  collect [] start
+
+let dissolve_chain t members = List.iter (fun i -> chain_unlink t i) members
+
+let link_chain t idxs =
+  let live = List.filter (fun i -> (entry t i).e_state = Live) idxs in
+  List.iter (fun i -> chain_unlink t i) live;
+  let rec link = function
+    | a :: (b :: _ as rest) ->
+        (entry t a).cnext <- b;
+        (entry t b).cprev <- a;
+        link rest
+    | [ _ ] | [] -> ()
+  in
+  link live
+
+(* ---- allocation ---- *)
+
+let grow t =
+  let n = Array.length t.entries in
+  let entries = Array.init (n * 2) (fun i -> if i < n then t.entries.(i) else fresh_entry ()) in
+  t.entries <- entries
+
+let alloc t =
+  match t.free with
+  | idx :: rest ->
+      t.free <- rest;
+      idx
+  | [] ->
+      if t.nalloc = Array.length t.entries then grow t;
+      let idx = t.nalloc in
+      t.nalloc <- t.nalloc + 1;
+      idx
+
+let used_bytes t = t.pending_bytes + t.inactive.bytes + t.active.bytes
+
+let live_entries t = t.inactive.count + t.active.count
+
+let evictions t = Metric.Counter.value t.evictions
+
+let reorganizations t = Metric.Counter.value t.reorgs
+
+(* ---- read path ---- *)
+
+let lookup t ~idx ~hsit_id =
+  Engine.delay t.cost.Cost.cache_op;
+  if idx < 0 || idx >= t.nalloc then None
+  else begin
+    let e = entry t idx in
+    if e.e_state <> Live || e.e_hsit <> hsit_id then None
+    else begin
+      Engine.delay (Cost.memcpy t.cost (Bytes.length e.e_value));
+      if not e.referenced then begin
+        e.referenced <- true;
+        Sync.Mailbox.send t.mailbox (Touch idx)
+      end;
+      Some (Bytes.copy e.e_value)
+    end
+  end
+
+let key_of t ~idx =
+  if idx < 0 || idx >= t.nalloc then None
+  else begin
+    let e = entry t idx in
+    if e.e_state = Live then Some e.e_key else None
+  end
+
+(* ---- write/admission path ---- *)
+
+let admit t ~hsit_id ~key ~value ~cached_from =
+  (* Hard cap: refuse admissions when eviction is far behind. *)
+  if used_bytes t > t.capacity * 2 then None
+  else begin
+    Engine.delay t.cost.Cost.cache_op;
+    let idx = alloc t in
+    let e = entry t idx in
+    e.e_hsit <- hsit_id;
+    e.e_key <- key;
+    e.e_value <- Bytes.copy value;
+    e.e_from <- cached_from;
+    e.e_state <- Live;
+    e.e_lru <- No_list;
+    e.referenced <- false;
+    Engine.delay t.cost.Cost.atomic_op;
+    if Hsit.cas_svc t.hsit hsit_id ~expect:None (Some idx) then begin
+      t.pending_bytes <- t.pending_bytes + entry_bytes e;
+      Sync.Mailbox.send t.mailbox (Admit idx);
+      Some idx
+    end
+    else begin
+      (* Someone else cached it first; roll back the never-published
+         entry. *)
+      e.e_state <- Free;
+      e.e_value <- Bytes.empty;
+      t.free <- idx :: t.free;
+      None
+    end
+  end
+
+let retire_entry t idx =
+  let e = entry t idx in
+  e.e_state <- Retired;
+  Epoch.retire t.epoch (fun () ->
+      e.e_state <- Free;
+      e.e_value <- Bytes.empty;
+      e.e_key <- "";
+      e.e_hsit <- -1;
+      t.free <- idx :: t.free)
+
+let invalidate t ~hsit_id =
+  match Hsit.read_svc t.hsit hsit_id with
+  | None -> ()
+  | Some idx ->
+      let e = entry t idx in
+      if e.e_state = Live && e.e_hsit = hsit_id then begin
+        Engine.delay t.cost.Cost.atomic_op;
+        if Hsit.cas_svc t.hsit hsit_id ~expect:(Some idx) None then
+          Sync.Mailbox.send t.mailbox (Drop idx)
+      end
+
+(* ---- manager ---- *)
+
+let in_pending e = e.e_state = Live && e.e_lru = No_list
+
+let evict_entry t idx =
+  let e = entry t idx in
+  Metric.Counter.incr t.evictions;
+  (* Sort-on-evict write-back of the whole scan chain (§4.4). *)
+  (match t.reorganize with
+  | Some reorganize when e.cprev >= 0 || e.cnext >= 0 ->
+      let members = chain_members t idx in
+      let payload =
+        List.filter_map
+          (fun i ->
+            let m = entry t i in
+            if m.e_state = Live then
+              Some
+                {
+                  hsit_id = m.e_hsit;
+                  key = m.e_key;
+                  value = Bytes.copy m.e_value;
+                  cached_from = m.e_from;
+                }
+            else None)
+          members
+      in
+      dissolve_chain t members;
+      if List.length payload >= 2 then begin
+        Metric.Counter.incr t.reorgs;
+        let sorted =
+          List.sort (fun a b -> String.compare a.key b.key) payload
+        in
+        reorganize sorted
+      end
+  | Some _ | None -> chain_unlink t idx);
+  (* Logical deletion: disconnect from HSIT first (§4.4). *)
+  if Hsit.cas_svc t.hsit e.e_hsit ~expect:(Some idx) None then ();
+  unlink t idx;
+  retire_entry t idx
+
+let demote_one t =
+  let idx = t.active.tail in
+  if idx >= 0 then begin
+    unlink t idx;
+    push_front t Inactive idx
+  end
+
+let enforce t =
+  (* Keep the active list from starving the inactive list. *)
+  while t.active.bytes > t.capacity / 2 && t.active.tail >= 0 do
+    demote_one t
+  done;
+  let progress = ref true in
+  while used_bytes t > t.capacity && !progress do
+    if t.inactive.tail >= 0 then evict_entry t t.inactive.tail
+    else if t.active.tail >= 0 then demote_one t
+    else progress := false
+  done
+
+let handle t msg =
+  Engine.delay t.cost.Cost.cache_op;
+  let in_range idx = idx >= 0 && idx < Array.length t.entries in
+  (match msg with
+  | (Admit idx | Touch idx | Drop idx) when not (in_range idx) -> ()
+  | Admit idx ->
+      let e = entry t idx in
+      if in_pending e then begin
+        t.pending_bytes <- t.pending_bytes - entry_bytes e;
+        push_front t Inactive idx
+      end
+  | Touch idx ->
+      let e = entry t idx in
+      if e.e_state = Live then begin
+        e.referenced <- false;
+        match e.e_lru with
+        | Inactive ->
+            unlink t idx;
+            push_front t Active idx
+        | Active ->
+            unlink t idx;
+            push_front t Active idx
+        | No_list -> ()
+      end
+  | Drop idx ->
+      let e = entry t idx in
+      if e.e_state = Live then begin
+        if in_pending e then
+          t.pending_bytes <- t.pending_bytes - entry_bytes e;
+        chain_unlink t idx;
+        unlink t idx;
+        retire_entry t idx
+      end);
+  enforce t
+
+let start_manager t =
+  if t.manager_running then invalid_arg "Svc.start_manager: already running";
+  t.manager_running <- true;
+  Engine.spawn t.engine (fun () ->
+      let rec loop () =
+        let msg = Sync.Mailbox.recv t.mailbox in
+        handle t msg;
+        loop ()
+      in
+      loop ())
+
+let clear t =
+  let rec drain () =
+    match Sync.Mailbox.try_recv t.mailbox with
+    | Some _ -> drain ()
+    | None -> ()
+  in
+  drain ();
+  for i = 0 to t.nalloc - 1 do
+    let e = t.entries.(i) in
+    e.e_state <- Free;
+    e.e_value <- Bytes.empty;
+    e.e_key <- "";
+    e.e_lru <- No_list;
+    e.prev <- -1;
+    e.next <- -1;
+    e.cprev <- -1;
+    e.cnext <- -1
+  done;
+  t.free <- [];
+  t.nalloc <- 0;
+  t.pending_bytes <- 0;
+  t.inactive.head <- -1;
+  t.inactive.tail <- -1;
+  t.inactive.bytes <- 0;
+  t.inactive.count <- 0;
+  t.active.head <- -1;
+  t.active.tail <- -1;
+  t.active.bytes <- 0;
+  t.active.count <- 0

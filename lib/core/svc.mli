@@ -1,0 +1,86 @@
+(** Scan-aware Value Cache (§4.4): DRAM cache of read-hot values.
+
+    There is no separate cache index — HSIT's SVC pointer leads straight to
+    the entry. Management (LRU bookkeeping, eviction) is done by a
+    background manager process fed through a mailbox, keeping it off the
+    critical path. Eviction uses a 2Q scheme: admission to the inactive
+    list, promotion to the active list on second access, demotion from an
+    over-long active list, eviction from the inactive tail.
+
+    Values fetched by one scan are linked into a doubly-linked chain; when
+    any chain member is evicted the whole chain is sorted by key and handed
+    to the [reorganize] callback, which rewrites the values contiguously
+    into Value Storage to restore spatial locality for future scans.
+
+    Freed entries are reclaimed through epochs: a concurrent reader that
+    resolved HSIT's SVC pointer just before eviction can still safely copy
+    the value. *)
+
+type t
+
+(** What the reorganize callback receives per chain member: the backward
+    pointer, key, cached value, and the Value-Storage location the value
+    was cached from (used as the CAS expectation when repointing). *)
+type member = {
+  hsit_id : int;
+  key : string;
+  value : bytes;
+  cached_from : Location.t;
+}
+
+val create :
+  Prism_sim.Engine.t ->
+  capacity:int ->
+  cost:Prism_device.Cost.t ->
+  epoch:Epoch.t ->
+  hsit:Hsit.t ->
+  t
+
+(** [set_reorganize t f] installs the sort-on-evict write-back hook; when
+    absent, chains are simply dissolved on eviction. [f] runs on the
+    manager process and receives members sorted by key. *)
+val set_reorganize : t -> (member list -> unit) -> unit
+
+(** Spawn the background manager process. *)
+val start_manager : t -> unit
+
+(** [lookup t ~idx ~hsit_id] copies the cached value if entry [idx] is
+    still live and bound to [hsit_id]; bumps its reference bit. Caller must
+    hold an epoch pin. Charges DRAM copy cost. *)
+val lookup : t -> idx:int -> hsit_id:int -> bytes option
+
+(** [key_of t ~idx] is the entry's key (for scan bookkeeping). *)
+val key_of : t -> idx:int -> string option
+
+(** [admit t ~hsit_id ~key ~value ~cached_from] inserts a value read from
+    Value Storage and publishes it via HSIT's SVC pointer (lock-free;
+    loses gracefully to a concurrent admit). Returns the entry index when
+    published. *)
+val admit :
+  t ->
+  hsit_id:int ->
+  key:string ->
+  value:bytes ->
+  cached_from:Location.t ->
+  int option
+
+(** [invalidate t ~hsit_id] unpublishes and retires the entry bound to
+    [hsit_id], if any — used by writers before overwriting or deleting a
+    key. *)
+val invalidate : t -> hsit_id:int -> unit
+
+(** [link_chain t idxs] links the entries into one scan chain (dissolving
+    any chains they belonged to). *)
+val link_chain : t -> int list -> unit
+
+(** Statistics. *)
+val used_bytes : t -> int
+
+val live_entries : t -> int
+
+val evictions : t -> int
+
+val reorganizations : t -> int
+
+(** Drop every entry (crash simulation: DRAM loses power). *)
+val clear : t -> unit

@@ -1,0 +1,27 @@
+(** Timeout-based asynchronous IO batching — the "TA" baseline of Figure
+    11. A dispatcher process accumulates read requests and submits a batch
+    when either the batch reaches the queue-depth limit or a fixed timeout
+    (the paper uses 100 us) has elapsed since the first pending request.
+    Same interface as {!Tcq} so the store can switch between them. *)
+
+type t
+
+val create :
+  Prism_sim.Engine.t ->
+  Prism_device.Io_uring.t ->
+  limit:int ->
+  timeout:float ->
+  cost:Prism_device.Cost.t ->
+  t
+
+(** Spawn the dispatcher process. *)
+val start : t -> unit
+
+(** [read t entry] blocks until the entry's data is available. *)
+val read : t -> Prism_device.Io_uring.entry -> unit
+
+val read_many : t -> Prism_device.Io_uring.entry list -> unit
+
+val batches : t -> int
+
+val requests : t -> int

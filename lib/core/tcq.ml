@@ -1,0 +1,93 @@
+open Prism_sim
+open Prism_device
+
+type request = {
+  entry : Io_uring.entry;
+  handed : float Sync.Ivar.t Sync.Ivar.t;
+      (* filled by the leader with the io_uring completion ivar *)
+}
+
+type t = {
+  uring : Io_uring.t;
+  limit : int;
+  cost : Cost.t;
+  queue : request Queue.t;
+  mutable leader_active : bool;
+  batches : Metric.Counter.t;
+  reqs : Metric.Counter.t;
+}
+
+let create uring ~limit ~cost =
+  if limit <= 0 then invalid_arg "Tcq.create: limit <= 0";
+  {
+    uring;
+    limit;
+    cost;
+    queue = Queue.create ();
+    leader_active = false;
+    batches = Metric.Counter.create ();
+    reqs = Metric.Counter.create ();
+  }
+
+let batches t = Metric.Counter.value t.batches
+
+let requests t = Metric.Counter.value t.reqs
+
+(* The leader drains the TCQ in batches of at most [limit], submitting each
+   batch as one io_uring call, until the queue is empty. Draining the queue
+   before releasing leadership guarantees no enqueued request is ever
+   stranded: a new arrival either sees an active leader (and is a follower)
+   or becomes the leader itself. *)
+let drive_leader t =
+  let rec loop () =
+    if Queue.is_empty t.queue then t.leader_active <- false
+    else begin
+      (* Traverse the TCQ, collecting up to [limit] requests. *)
+      let batch = ref [] in
+      let n = ref 0 in
+      while !n < t.limit && not (Queue.is_empty t.queue) do
+        batch := Queue.pop t.queue :: !batch;
+        incr n;
+        Engine.delay t.cost.Cost.cache_op
+      done;
+      let batch = List.rev !batch in
+      Metric.Counter.incr t.batches;
+      Metric.Counter.add t.reqs !n;
+      let ivars =
+        Io_uring.submit t.uring (List.map (fun r -> r.entry) batch)
+      in
+      List.iter2 (fun r ivar -> Sync.Ivar.fill r.handed ivar) batch ivars;
+      loop ()
+    end
+  in
+  loop ()
+
+let enqueue t entry =
+  let r = { entry; handed = Sync.Ivar.create () } in
+  (* Atomic swap on the TCQ tail (MCS-style enqueue). *)
+  Engine.delay t.cost.Cost.atomic_op;
+  Queue.add r t.queue;
+  r
+
+let await r =
+  let completion = Sync.Ivar.read r.handed in
+  ignore (Sync.Ivar.read completion)
+
+let read t entry =
+  let r = enqueue t entry in
+  if not t.leader_active then begin
+    t.leader_active <- true;
+    drive_leader t
+  end;
+  await r
+
+let read_many t entries =
+  match entries with
+  | [] -> ()
+  | entries ->
+      let rs = List.map (fun e -> enqueue t e) entries in
+      if not t.leader_active then begin
+        t.leader_active <- true;
+        drive_leader t
+      end;
+      List.iter await rs

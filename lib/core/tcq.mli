@@ -1,0 +1,35 @@
+(** Opportunistic thread combining for Value Storage reads (§5.3).
+
+    Concurrent readers line up in a Thread Combining Queue. The first
+    arrival (atomic swap on the queue tail, MCS-style) becomes the leader;
+    it coalesces its own and the followers' read requests — up to the
+    coalescing limit (queue depth) — into a single io_uring submission,
+    then hands leadership to later arrivals. Followers return as soon as
+    the leader has taken their request and are woken individually when the
+    background completion path posts their CQE.
+
+    The effect: with many concurrent readers, batches are large (high SSD
+    bandwidth, low per-IO CPU cost); with few, batches are small (low
+    latency). No timeout is ever waited on. *)
+
+type t
+
+val create :
+  Prism_device.Io_uring.t ->
+  limit:int ->
+  cost:Prism_device.Cost.t ->
+  t
+
+(** [read t entry] blocks until [entry]'s completion action has run (its
+    data is available). Must be called from within a process. *)
+val read : t -> Prism_device.Io_uring.entry -> unit
+
+(** [read_many t entries] coalesces several reads from one thread (scan
+    path) and waits for all. *)
+val read_many : t -> Prism_device.Io_uring.entry list -> unit
+
+(** Total batches submitted and total requests, for the Figure 11
+    batch-size analysis: requests / batches = mean achieved batch size. *)
+val batches : t -> int
+
+val requests : t -> int

@@ -1,0 +1,36 @@
+type t = {
+  syscall : float;
+  uring_submit : float;
+  uring_sqe : float;
+  uring_reap : float;
+  cache_op : float;
+  index_node : float;
+  compare_key : float;
+  memcpy_per_byte : float;
+  atomic_op : float;
+  flush_line : float;
+  fence : float;
+  crc_per_byte : float;
+}
+
+let ns = 1e-9
+
+let us = 1e-6
+
+let default =
+  {
+    syscall = 2.5 *. us;
+    uring_submit = 0.8 *. us;
+    uring_sqe = 0.10 *. us;
+    uring_reap = 0.05 *. us;
+    cache_op = 30.0 *. ns;
+    index_node = 90.0 *. ns;
+    compare_key = 15.0 *. ns;
+    memcpy_per_byte = 1.0 /. 15e9;
+    atomic_op = 20.0 *. ns;
+    flush_line = 60.0 *. ns;
+    fence = 30.0 *. ns;
+    crc_per_byte = 0.3 *. ns;
+  }
+
+let memcpy t n = float_of_int n *. t.memcpy_per_byte

@@ -1,0 +1,27 @@
+(** CPU cost model.
+
+    Today's storage devices are fast enough that the CPU is often the
+    bottleneck (paper §3), so the simulation charges virtual CPU time to the
+    calling thread for every software operation: syscalls, index traversal,
+    hashing, memory copies, lock operations. All costs are in seconds. *)
+
+type t = {
+  syscall : float;  (** base cost of a synchronous syscall (read/write) *)
+  uring_submit : float;  (** base cost of io_uring_enter *)
+  uring_sqe : float;  (** incremental cost per submitted SQE *)
+  uring_reap : float;  (** cost to reap one CQE *)
+  cache_op : float;  (** hash-table probe / small pointer chase *)
+  index_node : float;  (** visiting one DRAM index node *)
+  compare_key : float;  (** one key comparison *)
+  memcpy_per_byte : float;  (** DRAM copy cost per byte *)
+  atomic_op : float;  (** CAS / fetch-and-add *)
+  flush_line : float;  (** clwb of one cache line (CPU side) *)
+  fence : float;  (** sfence *)
+  crc_per_byte : float;  (** checksum cost per byte (LSM blocks) *)
+}
+
+(** Default parameters, calibrated to commodity Xeon-class hardware. *)
+val default : t
+
+(** [memcpy t n] is the cost of copying [n] bytes through DRAM. *)
+val memcpy : t -> int -> float

@@ -1,0 +1,80 @@
+open Prism_sim
+
+type direction = Read | Write
+
+type t = {
+  engine : Engine.t;
+  spec : Spec.t;
+  mutable busy_until : float;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable in_flight : int;
+}
+
+let create engine spec =
+  {
+    engine;
+    spec;
+    busy_until = 0.0;
+    bytes_read = 0;
+    bytes_written = 0;
+    reads = 0;
+    writes = 0;
+    in_flight = 0;
+  }
+
+let spec t = t.spec
+
+let bandwidth t = function
+  | Read -> t.spec.Spec.read_bw
+  | Write -> t.spec.Spec.write_bw
+
+let latency t = function
+  | Read -> t.spec.Spec.read_lat
+  | Write -> t.spec.Spec.write_lat
+
+let note t dir size =
+  match dir with
+  | Read ->
+      t.bytes_read <- t.bytes_read + size;
+      t.reads <- t.reads + 1
+  | Write ->
+      t.bytes_written <- t.bytes_written + size;
+      t.writes <- t.writes + 1
+
+let submit t dir ~size =
+  if size < 0 then invalid_arg "Model.submit: negative size";
+  note t dir size;
+  let now = Engine.now t.engine in
+  let start = Float.max now t.busy_until in
+  let transfer_done = start +. (float_of_int size /. bandwidth t dir) in
+  t.busy_until <- transfer_done;
+  let completion = transfer_done +. latency t dir in
+  t.in_flight <- t.in_flight + 1;
+  Engine.schedule t.engine
+    ~after:(completion -. now)
+    (fun () -> t.in_flight <- t.in_flight - 1);
+  completion
+
+let access t dir ~size =
+  let completion = submit t dir ~size in
+  let wait = completion -. Engine.now t.engine in
+  if wait > 0.0 then Engine.delay wait
+
+let bytes_written t = t.bytes_written
+
+let bytes_read t = t.bytes_read
+
+let reads t = t.reads
+
+let writes t = t.writes
+
+let reset_stats t =
+  t.bytes_read <- 0;
+  t.bytes_written <- 0;
+  t.reads <- 0;
+  t.writes <- 0
+
+let in_flight t = t.in_flight

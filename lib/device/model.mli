@@ -1,0 +1,43 @@
+(** Timing model of a single storage device.
+
+    The device is a pipeline: requests serialize through a transfer stage at
+    the direction's bandwidth, then complete after the direction's access
+    latency. Under load, requests queue in the transfer stage, which is what
+    produces the bandwidth ceiling and the queueing-driven tail latency the
+    paper's Figures 11 and 14 rely on.
+
+    The model also keeps endurance accounting (bytes read/written) used for
+    the write-amplification experiment (Figure 12). *)
+
+type direction = Read | Write
+
+type t
+
+(** [create engine spec] attaches a device to a simulation. *)
+val create : Prism_sim.Engine.t -> Spec.t -> t
+
+val spec : t -> Spec.t
+
+(** [submit t dir ~size] books a transfer of [size] bytes and returns the
+    virtual completion time. Does not block the caller. *)
+val submit : t -> direction -> size:int -> float
+
+(** [access t dir ~size] performs a synchronous byte-addressable access:
+    blocks the calling process for the device latency plus transfer time.
+    Used for NVM and DRAM. Must be called from within a process. *)
+val access : t -> direction -> size:int -> unit
+
+(** Total bytes written to the device since creation (or last reset). *)
+val bytes_written : t -> int
+
+val bytes_read : t -> int
+
+val reads : t -> int
+
+val writes : t -> int
+
+(** Forget accumulated statistics (not the pipeline state). *)
+val reset_stats : t -> unit
+
+(** Current number of requests submitted but not yet completed. *)
+val in_flight : t -> int

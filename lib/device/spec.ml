@@ -1,0 +1,83 @@
+type t = {
+  name : string;
+  read_bw : float;
+  write_bw : float;
+  read_lat : float;
+  write_lat : float;
+  cost_per_tb : float;
+  endurance_pbw : float;
+}
+
+let gb = 1e9
+
+let us = 1e-6
+
+let dram =
+  {
+    name = "DRAM (SK Hynix DDR4)";
+    read_bw = 15.0 *. gb;
+    write_bw = 15.0 *. gb;
+    read_lat = 0.08 *. us;
+    write_lat = 0.08 *. us;
+    cost_per_tb = 5427.0;
+    endurance_pbw = infinity;
+  }
+
+let optane_dcpmm =
+  {
+    name = "NVM (Intel Optane DCPMM)";
+    read_bw = 6.8 *. gb;
+    write_bw = 1.9 *. gb;
+    read_lat = 0.30 *. us;
+    write_lat = 0.09 *. us;
+    cost_per_tb = 4096.0;
+    endurance_pbw = 292.0;
+  }
+
+let optane_905p =
+  {
+    name = "NVM SSD (Intel Optane 905P)";
+    read_bw = 2.6 *. gb;
+    write_bw = 2.2 *. gb;
+    read_lat = 10.0 *. us;
+    write_lat = 10.0 *. us;
+    cost_per_tb = 1024.0;
+    endurance_pbw = 17.5;
+  }
+
+let samsung_980_pro =
+  {
+    name = "Flash SSD (Samsung 980 Pro, PCIe 4)";
+    read_bw = 7.0 *. gb;
+    write_bw = 5.0 *. gb;
+    read_lat = 50.0 *. us;
+    write_lat = 20.0 *. us;
+    cost_per_tb = 150.0;
+    endurance_pbw = 0.6;
+  }
+
+let samsung_980 =
+  {
+    name = "Flash SSD (Samsung 980, PCIe 3)";
+    read_bw = 3.5 *. gb;
+    write_bw = 3.0 *. gb;
+    read_lat = 60.0 *. us;
+    write_lat = 20.0 *. us;
+    cost_per_tb = 100.0;
+    endurance_pbw = 0.6;
+  }
+
+let cxl_pmem =
+  {
+    name = "CXL pmem expander";
+    read_bw = 24.0 *. gb;
+    write_bw = 12.0 *. gb;
+    read_lat = 0.60 *. us;
+    write_lat = 0.35 *. us;
+    cost_per_tb = 3000.0;
+    endurance_pbw = 292.0;
+  }
+
+let catalogue = [ dram; optane_dcpmm; optane_905p; samsung_980_pro; samsung_980 ]
+
+let cost_of_gb spec gigabytes = spec.cost_per_tb *. gigabytes /. 1000.0

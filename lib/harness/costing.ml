@@ -1,0 +1,44 @@
+open Prism_device
+
+type bill = {
+  system : string;
+  dram_bytes : int;
+  nvm_bytes : int;
+  dram_cost : float;
+  nvm_cost : float;
+  total_cost : float;
+}
+
+let gb bytes = float_of_int bytes /. 1e9
+
+let make ~system ~dram_bytes ~nvm_bytes =
+  let dram_cost = Spec.cost_of_gb Spec.dram (gb dram_bytes) in
+  let nvm_cost = Spec.cost_of_gb Spec.optane_dcpmm (gb nvm_bytes) in
+  { system; dram_bytes; nvm_bytes; dram_cost; nvm_cost; total_cost = dram_cost +. nvm_cost }
+
+(* The Table 1 proportions against the dataset: Prism 20 % DRAM + 16 %
+   NVM, KVell 32 % DRAM, MatrixKV 26 % DRAM + 8 % NVM (20/16/32/26/8 GB
+   against the paper's 100 GB dataset). *)
+let prism s =
+  let d = Setup.dataset_bytes s in
+  make ~system:"Prism" ~dram_bytes:(d * 20 / 100) ~nvm_bytes:(d * 16 / 100)
+
+let kvell s =
+  let d = Setup.dataset_bytes s in
+  make ~system:"KVell" ~dram_bytes:(d * 32 / 100) ~nvm_bytes:0
+
+let matrixkv s =
+  let d = Setup.dataset_bytes s in
+  make ~system:"MatrixKV" ~dram_bytes:(d * 26 / 100) ~nvm_bytes:(d * 8 / 100)
+
+let all s = [ prism s; kvell s; matrixkv s ]
+
+let balanced ?(tolerance = 0.02) bills =
+  match bills with
+  | [] -> true
+  | first :: rest ->
+      List.for_all
+        (fun b ->
+          Float.abs (b.total_cost -. first.total_cost)
+          <= tolerance *. first.total_cost)
+        rest

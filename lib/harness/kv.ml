@@ -1,0 +1,92 @@
+type t = {
+  name : string;
+  put : tid:int -> string -> bytes -> unit;
+  get : tid:int -> string -> bytes option;
+  delete : tid:int -> string -> bool;
+  scan : tid:int -> string -> int -> (string * bytes) list;
+  quiesce : unit -> unit;
+  ssd_bytes_written : unit -> int;
+  nvm_bytes_written : unit -> int;
+  recover : (unit -> unit) option;
+}
+
+let of_prism store =
+  {
+    name = "Prism";
+    put = (fun ~tid key value -> Prism_core.Store.put store ~tid key value);
+    get = (fun ~tid key -> Prism_core.Store.get store ~tid key);
+    delete = (fun ~tid key -> Prism_core.Store.delete store ~tid key);
+    scan = (fun ~tid key count -> Prism_core.Store.scan store ~tid key count);
+    quiesce = (fun () -> Prism_core.Store.quiesce store);
+    ssd_bytes_written = (fun () -> Prism_core.Store.ssd_bytes_written store);
+    nvm_bytes_written = (fun () -> Prism_core.Store.nvm_bytes_written store);
+    recover = None;
+  }
+
+let of_lsm tree ~nvm_written =
+  let open Prism_baselines in
+  {
+    name = Lsm_tree.name tree;
+    put = (fun ~tid:_ key value -> Lsm_tree.put tree key value);
+    get = (fun ~tid:_ key -> Lsm_tree.get tree key);
+    delete =
+      (fun ~tid:_ key ->
+        Lsm_tree.remove tree key;
+        true);
+    scan = (fun ~tid:_ key count -> Lsm_tree.scan tree ~from:key ~count);
+    quiesce = (fun () -> Lsm_tree.quiesce tree);
+    ssd_bytes_written = (fun () -> Lsm_tree.level_bytes_written tree);
+    nvm_bytes_written = nvm_written;
+    recover = None;
+  }
+
+let of_slmdb db ~ssd_written ~nvm_written =
+  let open Prism_baselines in
+  {
+    name = "SLM-DB";
+    put = (fun ~tid:_ key value -> Slmdb.put db key value);
+    get = (fun ~tid:_ key -> Slmdb.get db key);
+    delete =
+      (fun ~tid:_ key ->
+        Slmdb.remove db key;
+        true);
+    scan = (fun ~tid:_ key count -> Slmdb.scan db ~from:key ~count);
+    quiesce = (fun () -> Slmdb.quiesce db);
+    ssd_bytes_written = ssd_written;
+    nvm_bytes_written = nvm_written;
+    recover = None;
+  }
+
+let of_kvell kv =
+  let open Prism_baselines in
+  (* Injector-style write pipelining: each client thread keeps up to a
+     small window of writes in flight, like KVell's injector threads. *)
+  let window = 8 in
+  let max_tids = 256 in
+  let pending : unit Prism_sim.Sync.Ivar.t Queue.t array =
+    Array.init max_tids (fun _ -> Queue.create ())
+  in
+  let drain_to tid limit =
+    let q = pending.(tid) in
+    while Queue.length q > limit do
+      Prism_sim.Sync.Ivar.read (Queue.pop q)
+    done
+  in
+  {
+    name = "KVell";
+    put =
+      (fun ~tid key value ->
+        let tid = tid mod max_tids in
+        Queue.add (Kvell.put_async kv key value) pending.(tid);
+        drain_to tid (window - 1));
+    get = (fun ~tid:_ key -> Kvell.get kv key);
+    delete = (fun ~tid:_ key -> Kvell.delete kv key);
+    scan = (fun ~tid:_ key count -> Kvell.scan kv ~from:key ~count);
+    quiesce =
+      (fun () ->
+        Kvell.quiesce kv;
+        Array.iteri (fun tid _ -> drain_to tid 0) pending);
+    ssd_bytes_written = (fun () -> Kvell.ssd_bytes_written kv);
+    nvm_bytes_written = (fun () -> 0);
+    recover = Some (fun () -> Kvell.recover kv);
+  }

@@ -1,0 +1,24 @@
+(** Uniform key-value store interface the experiment driver runs against,
+    with adapters for Prism and every baseline. *)
+
+type t = {
+  name : string;
+  put : tid:int -> string -> bytes -> unit;
+  get : tid:int -> string -> bytes option;
+  delete : tid:int -> string -> bool;
+  scan : tid:int -> string -> int -> (string * bytes) list;
+  quiesce : unit -> unit;
+  ssd_bytes_written : unit -> int;
+  nvm_bytes_written : unit -> int;
+  recover : (unit -> unit) option;
+      (** charge a full restart-recovery, when the system supports the
+          §7.6 recovery experiment *)
+}
+
+val of_prism : Prism_core.Store.t -> t
+
+val of_lsm : Prism_baselines.Lsm_tree.t -> nvm_written:(unit -> int) -> t
+
+val of_slmdb : Prism_baselines.Slmdb.t -> ssd_written:(unit -> int) -> nvm_written:(unit -> int) -> t
+
+val of_kvell : Prism_baselines.Kvell.t -> t

@@ -1,0 +1,42 @@
+type t = { bits : Bytes.t; nbits : int; probes : int }
+
+let create ?(bits_per_key = 10) ~expected_entries () =
+  let expected_entries = max 1 expected_entries in
+  let nbits = max 64 (expected_entries * bits_per_key) in
+  let probes =
+    (* k = ln 2 * bits/key, clamped to a sensible range. *)
+    max 1 (min 30 (int_of_float (0.69 *. float_of_int bits_per_key)))
+  in
+  { bits = Bytes.make ((nbits + 7) / 8) '\000'; nbits; probes }
+
+let set_bit t i =
+  let byte = i / 8 and bit = i mod 8 in
+  Bytes.set t.bits byte
+    (Char.chr (Char.code (Bytes.get t.bits byte) lor (1 lsl bit)))
+
+let get_bit t i =
+  let byte = i / 8 and bit = i mod 8 in
+  Char.code (Bytes.get t.bits byte) land (1 lsl bit) <> 0
+
+(* Double hashing: g_i(x) = h1(x) + i * h2(x), the standard trick. *)
+let probe_positions t key =
+  let h = Strhash.fnv1a key in
+  let h1 = Int64.to_int (Int64.shift_right_logical h 1) in
+  let h2 = Int64.to_int (Int64.shift_right_logical (Strhash.mix h) 1) in
+  let h2 = h2 lor 1 in
+  fun i -> abs (h1 + (i * h2)) mod t.nbits
+
+let add t key =
+  let pos = probe_positions t key in
+  for i = 0 to t.probes - 1 do
+    set_bit t (pos i)
+  done
+
+let mem t key =
+  let pos = probe_positions t key in
+  let rec check i = i >= t.probes || (get_bit t (pos i) && check (i + 1)) in
+  check 0
+
+let probes t = t.probes
+
+let byte_size t = Bytes.length t.bits

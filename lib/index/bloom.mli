@@ -1,0 +1,18 @@
+(** Bloom filter over string keys, used by the LSM substrate's SSTables
+    (one filter per table, ~10 bits per key like RocksDB's default). *)
+
+type t
+
+(** [create ~expected_entries ~bits_per_key ()]. *)
+val create : ?bits_per_key:int -> expected_entries:int -> unit -> t
+
+val add : t -> string -> unit
+
+(** [mem t key] — false means definitely absent. *)
+val mem : t -> string -> bool
+
+(** Number of hash probes per operation (derived from bits/key). *)
+val probes : t -> int
+
+(** Size of the bit array in bytes. *)
+val byte_size : t -> int

@@ -1,0 +1,133 @@
+let max_level = 16
+
+type 'v node = {
+  key : string;
+  mutable value : 'v;
+  forward : 'v node option array;
+}
+
+type 'v t = {
+  rng : Prism_sim.Rng.t;
+  head : 'v node; (* sentinel; key unused *)
+  mutable level : int;
+  mutable length : int;
+  mutable max_key : string option;
+}
+
+let create ~rng () =
+  {
+    rng;
+    head =
+      { key = ""; value = Obj.magic 0; forward = Array.make max_level None };
+    level = 1;
+    length = 0;
+    max_key = None;
+  }
+
+let length t = t.length
+
+let is_empty t = t.length = 0
+
+let random_level t =
+  let lvl = ref 1 in
+  while !lvl < max_level && Prism_sim.Rng.int t.rng 4 = 0 do
+    incr lvl
+  done;
+  !lvl
+
+let find t key =
+  let node = ref t.head in
+  for i = t.level - 1 downto 0 do
+    let continue_level = ref true in
+    while !continue_level do
+      match !node.forward.(i) with
+      | Some next when String.compare next.key key < 0 -> node := next
+      | _ -> continue_level := false
+    done
+  done;
+  match !node.forward.(0) with
+  | Some next when String.equal next.key key -> Some next.value
+  | _ -> None
+
+let find_predecessors t key update =
+  let node = ref t.head in
+  let steps = ref 0 in
+  for i = t.level - 1 downto 0 do
+    let continue_level = ref true in
+    while !continue_level do
+      incr steps;
+      match !node.forward.(i) with
+      | Some next when String.compare next.key key < 0 -> node := next
+      | _ -> continue_level := false
+    done;
+    update.(i) <- !node
+  done;
+  !steps
+
+let insert t key value =
+  let update = Array.make max_level t.head in
+  let steps = find_predecessors t key update in
+  (match update.(0).forward.(0) with
+  | Some next when String.equal next.key key -> next.value <- value
+  | _ ->
+      let lvl = random_level t in
+      if lvl > t.level then begin
+        for i = t.level to lvl - 1 do
+          update.(i) <- t.head
+        done;
+        t.level <- lvl
+      end;
+      let node = { key; value; forward = Array.make lvl None } in
+      for i = 0 to lvl - 1 do
+        node.forward.(i) <- update.(i).forward.(i);
+        update.(i).forward.(i) <- Some node
+      done;
+      t.length <- t.length + 1;
+      (match t.max_key with
+      | Some m when String.compare m key >= 0 -> ()
+      | _ -> t.max_key <- Some key));
+  steps
+
+let delete t key =
+  let update = Array.make max_level t.head in
+  ignore (find_predecessors t key update);
+  match update.(0).forward.(0) with
+  | Some next when String.equal next.key key ->
+      for i = 0 to Array.length next.forward - 1 do
+        if i < t.level then
+          match update.(i).forward.(i) with
+          | Some n when n == next -> update.(i).forward.(i) <- next.forward.(i)
+          | _ -> ()
+      done;
+      t.length <- t.length - 1;
+      true
+  | _ -> false
+
+let iter t f =
+  let rec walk = function
+    | None -> ()
+    | Some node ->
+        f node.key node.value;
+        walk node.forward.(0)
+  in
+  walk t.head.forward.(0)
+
+let scan t ~from ~count =
+  if count <= 0 then []
+  else begin
+    let update = Array.make max_level t.head in
+    ignore (find_predecessors t from update);
+    let rec collect acc remaining cursor =
+      match cursor with
+      | Some node when remaining > 0 ->
+          collect ((node.key, node.value) :: acc) (remaining - 1)
+            node.forward.(0)
+      | _ -> List.rev acc
+    in
+    collect [] count update.(0).forward.(0)
+  end
+
+let min_key t =
+  match t.head.forward.(0) with Some n -> Some n.key | None -> None
+
+let max_key t = t.max_key

@@ -1,0 +1,30 @@
+(** Probabilistic skip list over string keys, used as the LSM memtable
+    (RocksDB uses the same structure). Supports ordered iteration for
+    memtable flushes and range scans. *)
+
+type 'v t
+
+(** [create ~rng ()] — levels are drawn from [rng] (p = 1/4, max 16). *)
+val create : rng:Prism_sim.Rng.t -> unit -> 'v t
+
+val length : 'v t -> int
+
+val is_empty : 'v t -> bool
+
+val find : 'v t -> string -> 'v option
+
+(** [insert t key v] binds (replacing). Returns number of nodes traversed,
+    so the caller can charge CPU costs. *)
+val insert : 'v t -> string -> 'v -> int
+
+val delete : 'v t -> string -> bool
+
+(** [iter t f] in ascending key order. *)
+val iter : 'v t -> (string -> 'v -> unit) -> unit
+
+(** [scan t ~from ~count] — up to [count] bindings with key [>= from]. *)
+val scan : 'v t -> from:string -> count:int -> (string * 'v) list
+
+val min_key : 'v t -> string option
+
+val max_key : 'v t -> string option

@@ -1,0 +1,88 @@
+(** Byte-addressable non-volatile memory region.
+
+    Models Optane DCPMM semantics as seen from software:
+
+    - loads and stores are synchronous CPU accesses charged to the calling
+      thread at the device's latency/bandwidth (through a shared pipeline,
+      so NVM's limited bandwidth shows up under concurrency);
+    - stores land in the (volatile) CPU cache and only become durable after
+      an explicit {!persist} ([clwb]+[sfence]) of the containing cache
+      lines;
+    - {!crash} discards every line that was written but not persisted,
+      which is exactly the failure model Prism's backward/forward pointer
+      protocol defends against (§5.5).
+
+    The region keeps two images: the volatile view that normal reads see,
+    and the durable image that survives {!crash}. *)
+
+type t
+
+(** [create engine ~spec ~size] allocates a zeroed region of [size] bytes
+    backed by a device with [spec]'s timing. *)
+val create :
+  Prism_sim.Engine.t ->
+  ?cost:Prism_device.Cost.t ->
+  spec:Prism_device.Spec.t ->
+  size:int ->
+  unit ->
+  t
+
+val size : t -> int
+
+(** Bytes of the region currently in use, as tracked by {!note_alloc};
+    purely an accounting aid for the NVM-footprint experiment. *)
+val allocated : t -> int
+
+val note_alloc : t -> int -> unit
+
+(** [read t ~off ~len] returns a copy of the volatile view. Charges the
+    calling thread one NVM read access of [len] bytes. *)
+val read : t -> off:int -> len:int -> bytes
+
+(** [write t ~off src] stores [src] at [off] in the volatile view and marks
+    the lines dirty. Charges one NVM write access. *)
+val write : t -> off:int -> bytes -> unit
+
+(** [persist t ~off ~len] flushes the cache lines covering the range and
+    fences; after it returns the range is durable. *)
+val persist : t -> off:int -> len:int -> unit
+
+(** [write_persist t ~off src] is [write] followed by [persist] of the same
+    range. *)
+val write_persist : t -> off:int -> bytes -> unit
+
+(** 8-byte little-endian load from the volatile view (one small access). *)
+val get_int64 : t -> int -> int64
+
+(** 8-byte little-endian store; [persist] additionally flushes the word's
+    line (default [false]). *)
+val set_int64 : t -> int -> int64 -> persist:bool -> unit
+
+(** [atomic_rmw t off ~f] models an atomic read-modify-write instruction
+    (CAS family) on the 8-byte word at [off]: after the access cost is
+    charged, [f] is applied to the then-current volatile word with no
+    intervening simulation event. [Some w'] stores [w'] (volatile, marks
+    the line dirty); [None] leaves the word untouched. Returns the word
+    [f] observed. Use this — never a read followed by [set_int64] — for
+    any word that other threads update concurrently. *)
+val atomic_rmw : t -> int -> f:(int64 -> int64 option) -> int64
+
+(** [crash t] simulates a power failure: the volatile view reverts to the
+    durable image and all dirty-line tracking is cleared. Timing costs are
+    not charged (nobody is running). *)
+val crash : t -> unit
+
+(** [read_durable t ~off ~len] inspects the durable image directly — for
+    tests and recovery assertions only; charges no time. *)
+val read_durable : t -> off:int -> len:int -> bytes
+
+(** [restore t ~off src] writes both images directly without charging
+    device time — recovery only, where the caller accounts the traffic in
+    bulk (recovery is bandwidth-bound and parallelized, §5.5). *)
+val restore : t -> off:int -> bytes -> unit
+
+(** Number of currently dirty (written, unpersisted) cache lines. *)
+val dirty_lines : t -> int
+
+(** Underlying timing model, for endurance/bandwidth statistics. *)
+val device : t -> Prism_device.Model.t

@@ -1,0 +1,25 @@
+type t = { data : Bytes.t }
+
+let create ~size =
+  if size <= 0 then invalid_arg "Ssd_image.create: size <= 0";
+  { data = Bytes.make size '\000' }
+
+let size t = Bytes.length t.data
+
+let check t ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length t.data then
+    invalid_arg
+      (Printf.sprintf "Ssd_image: range [%d, %d) outside image of %d bytes"
+         off (off + len) (Bytes.length t.data))
+
+let read t ~off ~len =
+  check t ~off ~len;
+  Bytes.sub t.data off len
+
+let write t ~off src =
+  check t ~off ~len:(Bytes.length src);
+  Bytes.blit src 0 t.data off (Bytes.length src)
+
+let blit_to t ~off dst ~dst_off ~len =
+  check t ~off ~len;
+  Bytes.blit t.data off dst dst_off len

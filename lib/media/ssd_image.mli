@@ -1,0 +1,23 @@
+(** Content image of an SSD-backed file.
+
+    Timing lives in {!Prism_device.Io_uring} / {!Prism_device.Model}; this
+    module only holds the bytes. Data written through the async IO engine
+    is applied by the entry's completion action, so a crash before
+    completion simply means the bytes were never applied — matching
+    O_DIRECT semantics where acknowledged writes are durable and in-flight
+    writes are lost. *)
+
+type t
+
+val create : size:int -> t
+
+val size : t -> int
+
+(** [read t ~off ~len] copies bytes out of the image. *)
+val read : t -> off:int -> len:int -> bytes
+
+(** [write t ~off src] applies bytes (call from an IO completion action). *)
+val write : t -> off:int -> bytes -> unit
+
+(** [blit_to t ~off dst ~dst_off ~len] copies without allocating. *)
+val blit_to : t -> off:int -> bytes -> dst_off:int -> len:int -> unit

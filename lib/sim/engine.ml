@@ -1,0 +1,121 @@
+type t = {
+  mutable now : float;
+  mutable seq : int;
+  mutable stopped : bool;
+  mutable executed : int;
+  events : (unit -> unit) Heap.t;
+}
+
+type _ Effect.t +=
+  | Delay : (t * float) -> unit Effect.t
+  | Suspend : (t * ((unit -> unit) -> unit)) -> unit Effect.t
+
+(* The engine of the currently-running process. Set for the duration of each
+   event execution so that [delay]/[suspend] can find their engine without
+   every call site threading it explicitly. *)
+let current : t option ref = ref None
+
+let create () =
+  { now = 0.0; seq = 0; stopped = false; executed = 0; events = Heap.create () }
+
+let now t = t.now
+
+let enqueue t ~at f =
+  assert (at >= t.now);
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  Heap.push t.events ~time:at ~seq f
+
+let schedule t ~after f = enqueue t ~at:(t.now +. after) f
+
+let resume_continuation t k =
+  let saved = !current in
+  current := Some t;
+  Fun.protect
+    ~finally:(fun () -> current := saved)
+    (fun () -> Effect.Deep.continue k ())
+
+let handler t =
+  let open Effect.Deep in
+  let effc : type a. a Effect.t -> ((a, unit) continuation -> unit) option =
+    function
+    | Delay (engine, d) ->
+        Some
+          (fun k ->
+            enqueue engine ~at:(engine.now +. d) (fun () ->
+                resume_continuation t k))
+    | Suspend (engine, register) ->
+        Some
+          (fun k ->
+            let resumed = ref false in
+            register (fun () ->
+                if !resumed then invalid_arg "Engine: resume called twice";
+                resumed := true;
+                enqueue engine ~at:engine.now (fun () ->
+                    resume_continuation t k)))
+    | _ -> None
+  in
+  { retc = Fun.id; exnc = raise; effc }
+
+let spawn t ?at f =
+  let at = match at with None -> t.now | Some at -> at in
+  enqueue t ~at (fun () -> Effect.Deep.match_with f () (handler t))
+
+let run ?(until = infinity) t =
+  t.stopped <- false;
+  let continue_running = ref true in
+  while !continue_running && not t.stopped do
+    match Heap.peek_time t.events with
+    | None -> continue_running := false
+    | Some time when time > until ->
+        (* Leave the event queued; a later [run] can resume it. *)
+        t.now <- until;
+        continue_running := false
+    | Some _ ->
+        (match Heap.pop_min t.events with
+        | None -> assert false
+        | Some (time, _, action) ->
+            t.now <- time;
+            t.executed <- t.executed + 1;
+            let saved = !current in
+            current := Some t;
+            Fun.protect
+              ~finally:(fun () -> current := saved)
+              action)
+  done;
+  t.now
+
+let stop t = t.stopped <- true
+
+let clear_pending t =
+  let rec drop () =
+    match Heap.pop_min t.events with Some _ -> drop () | None -> ()
+  in
+  drop ()
+
+let current_engine () =
+  match !current with
+  | Some t -> t
+  | None -> invalid_arg "Engine: not inside a simulation process"
+
+let delay d =
+  if d < 0.0 then invalid_arg "Engine.delay: negative delay";
+  if d = 0.0 then ()
+  else begin
+    let t = current_engine () in
+    Effect.perform (Delay (t, d))
+  end
+
+let yield () =
+  let t = current_engine () in
+  Effect.perform (Delay (t, 0.0))
+
+let suspend register =
+  let t = current_engine () in
+  Effect.perform (Suspend (t, register))
+
+let current_now () = (current_engine ()).now
+
+let current () = current_engine ()
+
+let events_executed t = t.executed

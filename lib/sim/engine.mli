@@ -1,0 +1,65 @@
+(** Discrete-event simulation kernel.
+
+    A simulation is a set of cooperative processes that run on a virtual
+    clock. Processes are ordinary OCaml functions; they advance virtual time
+    with {!delay} and block on external events with {!suspend}. Both are
+    implemented with effect handlers, so any function called (transitively)
+    from a process body may delay or suspend without threading a monad
+    through the code.
+
+    Determinism: events scheduled for the same instant fire in scheduling
+    order, and all randomness comes from explicit {!Rng.t} streams, so a
+    simulation's outcome is a pure function of its inputs. *)
+
+type t
+
+(** [create ()] makes an empty simulation at time [0.0]. *)
+val create : unit -> t
+
+(** Current virtual time, in seconds. *)
+val now : t -> float
+
+(** [spawn t f] registers a new process whose body [f] starts executing at
+    the current virtual time (or at [at], if given). *)
+val spawn : t -> ?at:float -> (unit -> unit) -> unit
+
+(** [schedule t ~after f] runs plain callback [f] after [after] seconds of
+    virtual time. Unlike {!spawn}, [f] must not delay or suspend. *)
+val schedule : t -> after:float -> (unit -> unit) -> unit
+
+(** [run t] executes events until the queue is empty, [stop] is called, or
+    virtual time would exceed [until]. Returns the final virtual time. *)
+val run : ?until:float -> t -> float
+
+(** [stop t] (called from within a process) makes [run] return once the
+    current event completes. Remaining events are discarded. *)
+val stop : t -> unit
+
+(** [clear_pending t] drops every queued event — used to simulate a crash:
+    in-flight IO completions and suspended continuations vanish. *)
+val clear_pending : t -> unit
+
+(** [delay d] advances the calling process's virtual time by [d] seconds.
+    Must be called from within a process. [d] must be non-negative. *)
+val delay : float -> unit
+
+(** [yield ()] re-schedules the calling process at the current time, letting
+    same-time events that were scheduled earlier run first. *)
+val yield : unit -> unit
+
+(** [suspend register] blocks the calling process. [register] is called
+    immediately with a [resume] function; stash it somewhere, and call it
+    (exactly once) to reschedule the process at the then-current virtual
+    time. *)
+val suspend : ((unit -> unit) -> unit) -> unit
+
+(** [current_now ()] is the virtual time of the engine currently executing;
+    callable only from within a process or scheduled callback. *)
+val current_now : unit -> float
+
+(** [current ()] is the engine currently executing, for code that needs to
+    spawn or schedule without threading the handle explicitly. *)
+val current : unit -> t
+
+(** Number of events executed so far; useful for tests and progress. *)
+val events_executed : t -> int

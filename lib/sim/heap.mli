@@ -1,0 +1,22 @@
+(** Binary min-heap keyed by [(time, seq)], used as the simulator's event
+    queue. [seq] breaks ties so that events scheduled at the same instant
+    fire in insertion order, which keeps simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** [push t ~time ~seq v] inserts [v] with priority [(time, seq)]. *)
+val push : 'a t -> time:float -> seq:int -> 'a -> unit
+
+(** [pop_min t] removes and returns the entry with the smallest key, or
+    [None] when the heap is empty. *)
+val pop_min : 'a t -> (float * int * 'a) option
+
+(** [peek_time t] is the key time of the minimum entry without removing
+    it. *)
+val peek_time : 'a t -> float option

@@ -1,0 +1,106 @@
+let sub_bucket_bits = 5
+
+let sub_buckets = 1 lsl sub_bucket_bits (* 32 *)
+
+let linear_limit = 64
+
+(* Index layout: values < 64 map to themselves. A value v >= 64 with top bit
+   position k (so 2^k <= v < 2^(k+1), k >= 6) maps into one of 32 linear
+   sub-buckets of that range. *)
+let index_of_value v =
+  if v < linear_limit then v
+  else begin
+    let k = Bits.msb v in
+    let sub = (v lsr (k - sub_bucket_bits)) land (sub_buckets - 1) in
+    linear_limit + (((k - 6) * sub_buckets) + sub)
+  end
+
+let value_of_index i =
+  if i < linear_limit then i
+  else begin
+    let rel = i - linear_limit in
+    let k = (rel / sub_buckets) + 6 in
+    let sub = rel mod sub_buckets in
+    (1 lsl k) lor (sub lsl (k - sub_bucket_bits))
+  end
+
+type t = {
+  mutable counts : int array;
+  mutable total : int;
+  mutable sum : float;
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+let create () =
+  { counts = Array.make 256 0; total = 0; sum = 0.0; min_v = max_int; max_v = 0 }
+
+let ensure t i =
+  let n = Array.length t.counts in
+  if i >= n then begin
+    let m = max (i + 1) (n * 2) in
+    let counts = Array.make m 0 in
+    Array.blit t.counts 0 counts 0 n;
+    t.counts <- counts
+  end
+
+let record t v =
+  let v = if v < 0 then 0 else v in
+  let i = index_of_value v in
+  ensure t i;
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + 1;
+  t.sum <- t.sum +. float_of_int v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v
+
+let record_span t span = record t (int_of_float (span *. 1e9))
+
+let count t = t.total
+
+let mean t = if t.total = 0 then 0.0 else t.sum /. float_of_int t.total
+
+let min_value t = if t.total = 0 then 0 else t.min_v
+
+let max_value t = t.max_v
+
+let percentile t p =
+  if t.total = 0 then 0
+  else begin
+    let p = Float.max 0.0 (Float.min 100.0 p) in
+    let target = p /. 100.0 *. float_of_int t.total in
+    let target = int_of_float (Float.round target) in
+    let target = max 1 target in
+    let acc = ref 0 in
+    let result = ref t.max_v in
+    (try
+       for i = 0 to Array.length t.counts - 1 do
+         acc := !acc + t.counts.(i);
+         if !acc >= target then begin
+           result := value_of_index i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    (* Clamp away bucket-lower-bound quantization. *)
+    min t.max_v (max t.min_v !result)
+  end
+
+let median t = percentile t 50.0
+
+let merge ~into src =
+  for i = 0 to Array.length src.counts - 1 do
+    let c = src.counts.(i) in
+    if c > 0 then begin
+      ensure into i;
+      into.counts.(i) <- into.counts.(i) + c
+    end
+  done;
+  into.total <- into.total + src.total;
+  into.sum <- into.sum +. src.sum;
+  if src.total > 0 then begin
+    if src.min_v < into.min_v then into.min_v <- src.min_v;
+    if src.max_v > into.max_v then into.max_v <- src.max_v
+  end
+
+let to_us v = float_of_int v /. 1e3

@@ -1,0 +1,40 @@
+(** Log-bucketed latency histogram (HdrHistogram-style).
+
+    Values are non-negative integers — by convention nanoseconds of virtual
+    time. Buckets below 64 are exact; above that each power-of-two range is
+    split into 32 linear sub-buckets, bounding relative quantile error to
+    about 3 %. *)
+
+type t
+
+val create : unit -> t
+
+(** [record t v] adds one observation. Negative values are clamped to 0. *)
+val record : t -> int -> unit
+
+(** [record_span t span] records a virtual-time duration in seconds,
+    converted to nanoseconds. *)
+val record_span : t -> float -> unit
+
+val count : t -> int
+
+(** Mean of recorded values; 0 when empty. *)
+val mean : t -> float
+
+val min_value : t -> int
+
+val max_value : t -> int
+
+(** [percentile t p] for [p] in [\[0, 100\]]: smallest bucket lower bound
+    such that at least [p] percent of observations fall at or below it.
+    Returns 0 when empty. *)
+val percentile : t -> float -> int
+
+(** Median shorthand: [percentile t 50.0]. *)
+val median : t -> int
+
+(** [merge ~into src] adds all of [src]'s observations into [into]. *)
+val merge : into:t -> t -> unit
+
+(** [to_us v] converts a nanosecond measurement to microseconds. *)
+val to_us : int -> float

@@ -1,0 +1,46 @@
+module Counter = struct
+  type t = { mutable value : int }
+
+  let create () = { value = 0 }
+
+  let add t n = t.value <- t.value + n
+
+  let incr t = add t 1
+
+  let value t = t.value
+
+  let reset t = t.value <- 0
+end
+
+module Timeline = struct
+  type window = { mutable count : int; mutable marks : string list }
+
+  type t = { interval : float; table : (int, window) Hashtbl.t }
+
+  let create ~interval =
+    if interval <= 0.0 then invalid_arg "Timeline.create: interval <= 0";
+    { interval; table = Hashtbl.create 64 }
+
+  let window_of t ~now =
+    let idx = int_of_float (now /. t.interval) in
+    match Hashtbl.find_opt t.table idx with
+    | Some w -> w
+    | None ->
+        let w = { count = 0; marks = [] } in
+        Hashtbl.add t.table idx w;
+        w
+
+  let tick t ~now =
+    let w = window_of t ~now in
+    w.count <- w.count + 1
+
+  let mark t ~now label =
+    let w = window_of t ~now in
+    w.marks <- label :: w.marks
+
+  let windows t =
+    Hashtbl.fold (fun idx w acc -> (idx, w) :: acc) t.table []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map (fun (idx, w) ->
+           (float_of_int idx *. t.interval, w.count, List.rev w.marks))
+end

@@ -1,0 +1,37 @@
+(** Simple named counters and gauges used for experiment accounting
+    (bytes written per device, GC invocations, cache hits, ...). *)
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> int -> unit
+
+  val incr : t -> unit
+
+  val value : t -> int
+
+  val reset : t -> unit
+end
+
+(** Windowed throughput meter: records per-interval operation counts so a
+    timeline (e.g. Figure 17) can be replayed. *)
+module Timeline : sig
+  type t
+
+  (** [create ~interval] buckets events into windows of [interval] virtual
+      seconds. *)
+  val create : interval:float -> t
+
+  (** [tick t ~now] records one event at virtual time [now]. *)
+  val tick : t -> now:float -> unit
+
+  (** [mark t ~now label] attaches an annotation (e.g. "GC start") to the
+      window containing [now]. *)
+  val mark : t -> now:float -> string -> unit
+
+  (** [windows t] returns [(window_start, count, marks)] triples in time
+      order. *)
+  val windows : t -> (float * int * string list) list
+end

@@ -1,0 +1,136 @@
+module Ivar = struct
+  type 'a state = Empty of (unit -> unit) Queue.t | Full of 'a
+
+  type 'a t = { mutable state : 'a state }
+
+  let create () = { state = Empty (Queue.create ()) }
+
+  let fill t v =
+    match t.state with
+    | Full _ -> invalid_arg "Ivar.fill: already filled"
+    | Empty waiters ->
+        t.state <- Full v;
+        Queue.iter (fun resume -> resume ()) waiters
+
+  let is_filled t = match t.state with Full _ -> true | Empty _ -> false
+
+  let peek t = match t.state with Full v -> Some v | Empty _ -> None
+
+  let read t =
+    match t.state with
+    | Full v -> v
+    | Empty waiters -> (
+        Engine.suspend (fun resume -> Queue.add resume waiters);
+        match t.state with
+        | Full v -> v
+        | Empty _ -> assert false)
+
+  let read_with_timeout t d =
+    match t.state with
+    | Full v -> Some v
+    | Empty waiters ->
+        let fired = ref false in
+        Engine.suspend (fun resume ->
+            let once () =
+              if not !fired then begin
+                fired := true;
+                resume ()
+              end
+            in
+            Queue.add once waiters;
+            Engine.schedule (Engine.current ()) ~after:d once);
+        peek t
+end
+
+module Mailbox = struct
+  type 'a t = {
+    messages : 'a Queue.t;
+    waiters : (unit -> unit) Queue.t;
+  }
+
+  let create () = { messages = Queue.create (); waiters = Queue.create () }
+
+  let send t v =
+    Queue.add v t.messages;
+    match Queue.take_opt t.waiters with
+    | None -> ()
+    | Some resume -> resume ()
+
+  let try_recv t = Queue.take_opt t.messages
+
+  let rec recv t =
+    match Queue.take_opt t.messages with
+    | Some v -> v
+    | None ->
+        Engine.suspend (fun resume -> Queue.add resume t.waiters);
+        (* Another receiver woken at the same instant may have taken the
+           message; retry until one is really available. *)
+        recv t
+
+  let length t = Queue.length t.messages
+
+  let is_empty t = Queue.is_empty t.messages
+end
+
+module Semaphore = struct
+  type t = {
+    mutable permits : int;
+    waiters : (unit -> unit) Queue.t;
+  }
+
+  let create n =
+    if n < 0 then invalid_arg "Semaphore.create: negative permits";
+    { permits = n; waiters = Queue.create () }
+
+  let rec acquire t =
+    if t.permits > 0 then t.permits <- t.permits - 1
+    else begin
+      Engine.suspend (fun resume -> Queue.add resume t.waiters);
+      acquire t
+    end
+
+  let try_acquire t =
+    if t.permits > 0 then begin
+      t.permits <- t.permits - 1;
+      true
+    end
+    else false
+
+  let release t =
+    t.permits <- t.permits + 1;
+    match Queue.take_opt t.waiters with
+    | None -> ()
+    | Some resume -> resume ()
+
+  let available t = t.permits
+end
+
+module Mutex = struct
+  type t = Semaphore.t
+
+  let create () = Semaphore.create 1
+
+  let with_lock t f =
+    Semaphore.acquire t;
+    Fun.protect ~finally:(fun () -> Semaphore.release t) f
+end
+
+module Latch = struct
+  type t = {
+    mutable remaining : int;
+    done_ : unit Ivar.t;
+  }
+
+  let create n =
+    if n < 0 then invalid_arg "Latch.create: negative count";
+    let t = { remaining = n; done_ = Ivar.create () } in
+    if n = 0 then Ivar.fill t.done_ ();
+    t
+
+  let arrive t =
+    if t.remaining <= 0 then invalid_arg "Latch.arrive: already released";
+    t.remaining <- t.remaining - 1;
+    if t.remaining = 0 then Ivar.fill t.done_ ()
+
+  let wait t = Ivar.read t.done_
+end

@@ -1,0 +1,97 @@
+open Prism_sim
+
+type t = {
+  rng : Rng.t;
+  theta : float;
+  mutable items : int;
+  mutable zetan : float; (* zeta(items, theta) *)
+  mutable zeta2 : float;
+  mutable alpha : float;
+  mutable eta : float;
+  (* For theta >= 1 the YCSB closed form breaks down; we fall back to an
+     explicit CDF table with binary search. *)
+  mutable cdf : float array;
+}
+
+(* Incremental zeta: zeta(n2) = zeta(n1) + sum_{i=n1+1..n2} 1/i^theta. *)
+let zeta_increment ~from ~to_ ~theta acc =
+  let acc = ref acc in
+  for i = from + 1 to to_ do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int i) theta)
+  done;
+  !acc
+
+let recompute t =
+  if t.theta < 1.0 then begin
+    t.alpha <- 1.0 /. (1.0 -. t.theta);
+    let n = float_of_int t.items in
+    t.eta <-
+      (1.0 -. Float.pow (2.0 /. n) (1.0 -. t.theta))
+      /. (1.0 -. (t.zeta2 /. t.zetan));
+    t.cdf <- [||]
+  end
+  else begin
+    let cdf = Array.make t.items 0.0 in
+    let acc = ref 0.0 in
+    for i = 0 to t.items - 1 do
+      acc := !acc +. (1.0 /. Float.pow (float_of_int (i + 1)) t.theta);
+      cdf.(i) <- !acc
+    done;
+    let total = !acc in
+    for i = 0 to t.items - 1 do
+      cdf.(i) <- cdf.(i) /. total
+    done;
+    t.cdf <- cdf
+  end
+
+let create ~items ~theta rng =
+  if items <= 0 then invalid_arg "Zipfian.create: items <= 0";
+  if theta < 0.0 then invalid_arg "Zipfian.create: negative theta";
+  let zetan = zeta_increment ~from:0 ~to_:items ~theta 0.0 in
+  let zeta2 = zeta_increment ~from:0 ~to_:2 ~theta 0.0 in
+  let t =
+    { rng; theta; items; zetan; zeta2; alpha = 0.0; eta = 0.0; cdf = [||] }
+  in
+  recompute t;
+  t
+
+let items t = t.items
+
+let grow t ~items =
+  if items > t.items then begin
+    t.zetan <- zeta_increment ~from:t.items ~to_:items ~theta:t.theta t.zetan;
+    t.items <- items;
+    recompute t
+  end
+
+let next_rank t =
+  if t.theta = 0.0 then Rng.int t.rng t.items
+  else if t.theta >= 1.0 then begin
+    let u = Rng.float t.rng in
+    (* First index whose CDF value is >= u. *)
+    let lo = ref 0 and hi = ref (t.items - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  end
+  else begin
+    let u = Rng.float t.rng in
+    let uz = u *. t.zetan in
+    if uz < 1.0 then 0
+    else if uz < 1.0 +. Float.pow 0.5 t.theta then 1
+    else begin
+      let rank =
+        int_of_float
+          (float_of_int t.items
+          *. Float.pow ((t.eta *. u) -. t.eta +. 1.0) t.alpha)
+      in
+      if rank >= t.items then t.items - 1 else rank
+    end
+  end
+
+let next_scrambled t =
+  let rank = next_rank t in
+  let h = Prism_index.Strhash.mix (Int64.of_int rank) in
+  Prism_index.Strhash.to_bucket h t.items

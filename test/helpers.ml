@@ -1,0 +1,44 @@
+(* Shared test utilities. *)
+
+open Prism_sim
+
+(* Run [f] inside a fresh simulation and return its result. Fails the test
+   if the simulation ends without [f] completing. *)
+let in_sim f =
+  let engine = Engine.create () in
+  let result = ref None in
+  Engine.spawn engine (fun () -> result := Some (f engine));
+  ignore (Engine.run engine);
+  match !result with
+  | Some r -> r
+  | None -> Alcotest.fail "simulation ended before the test body completed"
+
+(* Run [f] with the engine, then keep running until quiescence. *)
+let in_sim_drain f =
+  let engine = Engine.create () in
+  let result = ref None in
+  Engine.spawn engine (fun () -> result := Some (f engine));
+  ignore (Engine.run engine);
+  !result
+
+let case name f = Alcotest.test_case name `Quick f
+
+let qcase ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count gen prop)
+
+let bytes_eq = Alcotest.testable (fun fmt b -> Format.fprintf fmt "%S" (Bytes.to_string b)) Bytes.equal
+
+let key i = Printf.sprintf "key%08d" i
+
+let value ?(size = 64) i =
+  let s = Printf.sprintf "value-%d-" i in
+  let b = Bytes.make (max size (String.length s)) 'x' in
+  Bytes.blit_string s 0 b 0 (String.length s);
+  b
+
+let approx ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let check_approx name a b =
+  if not (approx ~eps:(1e-6 *. Float.max 1.0 (Float.abs b)) a b) then
+    Alcotest.failf "%s: expected %g, got %g" name b a

@@ -1,0 +1,184 @@
+(* Tests for the experiment harness: runner phases, equal-cost setups,
+   report rendering, and a miniature end-to-end experiment sanity check
+   (the ordering claims the paper's figures rest on). *)
+
+open Prism_sim
+open Prism_harness
+open Helpers
+
+let tiny =
+  {
+    Setup.default_scenario with
+    records = 1200;
+    ops = 1200;
+    scan_ops = 150;
+    threads = 4;
+    num_ssds = 2;
+  }
+
+let test_setup_scenario_sizes () =
+  Alcotest.(check int) "dataset" (tiny.records * tiny.value_size)
+    (Setup.dataset_bytes tiny)
+
+let test_load_phase_runs () =
+  let e = Engine.create () in
+  let kv, store = Setup.prism e tiny in
+  let r =
+    Runner.load e kv ~threads:tiny.threads ~records:tiny.records
+      ~value_size:tiny.value_size ~seed:tiny.seed
+  in
+  Alcotest.(check int) "all inserted" tiny.records r.Runner.ops;
+  Alcotest.(check bool) "positive throughput" true (r.Runner.kops > 0.0);
+  Alcotest.(check int) "latencies recorded" tiny.records
+    (Hist.count r.Runner.latency);
+  Alcotest.(check int) "store agrees" tiny.records
+    (Prism_core.Store.length store)
+
+let test_run_phase_measures () =
+  let e = Engine.create () in
+  let kv, _ = Setup.prism e tiny in
+  ignore
+    (Runner.load e kv ~threads:tiny.threads ~records:tiny.records
+       ~value_size:tiny.value_size ~seed:tiny.seed);
+  let r =
+    Runner.run e kv Prism_workload.Ycsb.ycsb_a ~threads:tiny.threads
+      ~records:tiny.records ~ops:tiny.ops ~theta:0.99
+      ~value_size:tiny.value_size ~seed:tiny.seed
+  in
+  Alcotest.(check string) "workload name" "A" r.Runner.workload;
+  Alcotest.(check bool) "ops ran" true (r.Runner.ops > 0);
+  Alcotest.(check bool) "time advanced" true (r.Runner.elapsed > 0.0)
+
+let test_runner_timeline () =
+  let e = Engine.create () in
+  let kv, _ = Setup.prism e tiny in
+  ignore
+    (Runner.load e kv ~threads:tiny.threads ~records:tiny.records
+       ~value_size:tiny.value_size ~seed:tiny.seed);
+  let tl = Metric.Timeline.create ~interval:1e-3 in
+  ignore
+    (Runner.run ~timeline:tl e kv Prism_workload.Ycsb.ycsb_c
+       ~threads:tiny.threads ~records:tiny.records ~ops:tiny.ops ~theta:0.99
+       ~value_size:tiny.value_size ~seed:tiny.seed);
+  let total =
+    List.fold_left (fun acc (_, c, _) -> acc + c) 0 (Metric.Timeline.windows tl)
+  in
+  Alcotest.(check bool) "ticks recorded" true (total > 0)
+
+let test_all_contenders_complete_a_mix () =
+  let e = Engine.create () in
+  let contenders = Setup.contenders e tiny in
+  Alcotest.(check int) "four systems" 4 (List.length contenders);
+  List.iter
+    (fun kv ->
+      let r =
+        Runner.load e kv ~threads:tiny.threads ~records:tiny.records
+          ~value_size:tiny.value_size ~seed:tiny.seed
+      in
+      Alcotest.(check bool)
+        (kv.Kv.name ^ " load throughput")
+        true (r.Runner.kops > 0.0);
+      let r =
+        Runner.run e kv Prism_workload.Ycsb.ycsb_a ~threads:tiny.threads
+          ~records:tiny.records ~ops:tiny.ops ~theta:0.99
+          ~value_size:tiny.value_size ~seed:tiny.seed
+      in
+      Alcotest.(check bool) (kv.Kv.name ^ " A throughput") true (r.Runner.kops > 0.0))
+    contenders
+
+let test_kvell_recovery_hook () =
+  let e = Engine.create () in
+  let kv = Setup.kvell e tiny in
+  ignore
+    (Runner.load e kv ~threads:tiny.threads ~records:tiny.records
+       ~value_size:tiny.value_size ~seed:tiny.seed);
+  match Runner.recovery_time e kv with
+  | Some t -> Alcotest.(check bool) "positive recovery time" true (t > 0.0)
+  | None -> Alcotest.fail "KVell should expose recovery"
+
+let test_prism_beats_lsm_on_load () =
+  (* The one ordering every figure depends on: Prism's write path beats
+     the compaction-bound LSMs on pure inserts. *)
+  let scenario = { tiny with records = 4000 } in
+  let run_store make =
+    let e = Engine.create () in
+    let kv = make e in
+    (Runner.load e kv ~threads:scenario.threads ~records:scenario.records
+       ~value_size:scenario.value_size ~seed:scenario.seed)
+      .Runner.kops
+  in
+  let prism = run_store (fun e -> fst (Setup.prism e scenario)) in
+  let rocks = run_store (fun e -> Setup.rocksdb_nvm e scenario) in
+  let matrix = run_store (fun e -> Setup.matrixkv e scenario) in
+  Alcotest.(check bool) "prism > rocksdb-nvm on LOAD" true (prism > rocks);
+  Alcotest.(check bool) "prism > matrixkv on LOAD" true (prism > matrix)
+
+let test_simulation_deterministic () =
+  (* Two identical simulations must produce bit-identical results: same
+     virtual duration, same event count, same latency histogram. *)
+  let run () =
+    let e = Engine.create () in
+    let kv, _ = Setup.prism e tiny in
+    let load =
+      Runner.load e kv ~threads:tiny.threads ~records:tiny.records
+        ~value_size:tiny.value_size ~seed:tiny.seed
+    in
+    let a =
+      Runner.run e kv Prism_workload.Ycsb.ycsb_a ~threads:tiny.threads
+        ~records:tiny.records ~ops:tiny.ops ~theta:0.99
+        ~value_size:tiny.value_size ~seed:tiny.seed
+    in
+    ( load.Runner.elapsed,
+      a.Runner.elapsed,
+      Engine.events_executed e,
+      Hist.percentile a.Runner.latency 99.0,
+      Hist.count a.Runner.latency )
+  in
+  let first = run () in
+  let second = run () in
+  Alcotest.(check bool) "bit-identical reruns" true (first = second)
+
+let test_different_seeds_differ () =
+  let run seed =
+    let e = Engine.create () in
+    let kv, _ = Setup.prism e { tiny with Setup.seed } in
+    (Runner.run e kv Prism_workload.Ycsb.ycsb_a ~threads:tiny.threads
+       ~records:tiny.records ~ops:tiny.ops ~theta:0.99
+       ~value_size:tiny.value_size ~seed)
+      .Runner.elapsed
+  in
+  Alcotest.(check bool) "seed changes the run" true
+    (run 1L <> run 2L)
+
+let test_report_table_renders () =
+  (* Smoke: must not raise, regardless of jagged rows. *)
+  Report.section "test";
+  Report.table ~title:"t" ~columns:[ "a"; "b" ]
+    [ [ "x"; "1" ]; [ "yy"; "22" ] ];
+  Alcotest.(check string) "kops formatting" "1.50M" (Report.kops 1500.0);
+  Alcotest.(check string) "kops small" "12.3k" (Report.kops 12.3);
+  Alcotest.(check string) "ratio" "2.00x" (Report.ratio 2.0)
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "runner",
+        [
+          case "scenario sizes" test_setup_scenario_sizes;
+          case "load phase" test_load_phase_runs;
+          case "run phase" test_run_phase_measures;
+          case "timeline" test_runner_timeline;
+        ] );
+      ( "setups",
+        [
+          case "all contenders" test_all_contenders_complete_a_mix;
+          case "kvell recovery" test_kvell_recovery_hook;
+          case "prism beats lsm on load" test_prism_beats_lsm_on_load;
+        ] );
+      ( "determinism",
+        [
+          case "identical reruns" test_simulation_deterministic;
+          case "seeds differ" test_different_seeds_differ;
+        ] );
+      ( "report", [ case "table renders" test_report_table_renders ] );
+    ]

@@ -1,0 +1,671 @@
+(* Unit and property tests for the simulation kernel: event heap, engine
+   scheduling semantics, synchronization primitives, RNG, histogram,
+   counters and timelines. *)
+
+open Prism_sim
+open Helpers
+
+(* ---- Heap ---- *)
+
+let test_heap_order () =
+  let h = Heap.create () in
+  Heap.push h ~time:3.0 ~seq:0 "c";
+  Heap.push h ~time:1.0 ~seq:1 "a";
+  Heap.push h ~time:2.0 ~seq:2 "b";
+  let pop () =
+    match Heap.pop_min h with Some (_, _, v) -> v | None -> "?"
+  in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ]
+    [ first; second; third ]
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  for i = 0 to 9 do
+    Heap.push h ~time:1.0 ~seq:i i
+  done;
+  let order = ref [] in
+  let rec drain () =
+    match Heap.pop_min h with
+    | Some (_, _, v) ->
+        order := v :: !order;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "FIFO at equal times"
+    (List.init 10 (fun i -> i))
+    (List.rev !order)
+
+let test_heap_empty () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check bool) "pop none" true (Heap.pop_min h = None);
+  Alcotest.(check bool) "peek none" true (Heap.peek_time h = None)
+
+let test_heap_interleaved () =
+  let h = Heap.create () in
+  Heap.push h ~time:5.0 ~seq:0 5;
+  Heap.push h ~time:1.0 ~seq:1 1;
+  (match Heap.pop_min h with
+  | Some (t, _, v) ->
+      Alcotest.(check int) "min first" 1 v;
+      Alcotest.(check (float 0.0)) "time" 1.0 t
+  | None -> Alcotest.fail "expected entry");
+  Heap.push h ~time:0.5 ~seq:2 0;
+  match Heap.pop_min h with
+  | Some (_, _, v) -> Alcotest.(check int) "later smaller" 0 v
+  | None -> Alcotest.fail "expected entry"
+
+let prop_heap_sorted =
+  qcase "heap pops sorted" QCheck.(list (float_range 0.0 1000.0)) (fun times ->
+      let h = Heap.create () in
+      List.iteri (fun i t -> Heap.push h ~time:t ~seq:i t) times;
+      let rec drain acc =
+        match Heap.pop_min h with
+        | Some (t, _, _) -> drain (t :: acc)
+        | None -> List.rev acc
+      in
+      let out = drain [] in
+      out = List.sort compare times)
+
+(* ---- Engine ---- *)
+
+let test_engine_delay_advances_time () =
+  let t =
+    in_sim (fun e ->
+        Engine.delay 1.5;
+        Engine.now e)
+  in
+  Alcotest.(check (float 1e-12)) "time" 1.5 t
+
+let test_engine_two_processes_interleave () =
+  let log = ref [] in
+  let e = Engine.create () in
+  Engine.spawn e (fun () ->
+      log := `A0 :: !log;
+      Engine.delay 2.0;
+      log := `A2 :: !log);
+  Engine.spawn e (fun () ->
+      Engine.delay 1.0;
+      log := `B1 :: !log);
+  ignore (Engine.run e);
+  Alcotest.(check bool) "interleaving" true (List.rev !log = [ `A0; `B1; `A2 ])
+
+let test_engine_run_until () =
+  let e = Engine.create () in
+  let reached = ref false in
+  Engine.spawn e (fun () ->
+      Engine.delay 10.0;
+      reached := true);
+  let t = Engine.run ~until:5.0 e in
+  Alcotest.(check bool) "not reached" false !reached;
+  Alcotest.(check (float 1e-9)) "stopped at limit" 5.0 t;
+  ignore (Engine.run e);
+  Alcotest.(check bool) "reached after resume" true !reached
+
+let test_engine_stop () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  Engine.spawn e (fun () ->
+      for _ = 1 to 100 do
+        incr count;
+        if !count = 10 then Engine.stop e;
+        Engine.delay 1.0
+      done);
+  ignore (Engine.run e);
+  (* stop takes effect at the next scheduling point: the loop body runs to
+     its delay, which never resumes. *)
+  Alcotest.(check int) "stopped early" 10 !count
+
+let test_engine_negative_delay_rejected () =
+  in_sim (fun _ ->
+      Alcotest.check_raises "negative delay"
+        (Invalid_argument "Engine.delay: negative delay") (fun () ->
+          Engine.delay (-1.0)))
+
+let test_engine_schedule_callback () =
+  let e = Engine.create () in
+  let fired_at = ref nan in
+  Engine.schedule e ~after:3.0 (fun () -> fired_at := Engine.now e);
+  ignore (Engine.run e);
+  Alcotest.(check (float 1e-12)) "callback time" 3.0 !fired_at
+
+let test_engine_same_time_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 0 to 4 do
+    Engine.spawn e (fun () -> log := i :: !log)
+  done;
+  ignore (Engine.run e);
+  Alcotest.(check (list int)) "spawn order preserved" [ 0; 1; 2; 3; 4 ]
+    (List.rev !log)
+
+let test_engine_yield_reorders () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.spawn e (fun () ->
+      log := "a1" :: !log;
+      Engine.yield ();
+      log := "a2" :: !log);
+  Engine.spawn e (fun () -> log := "b" :: !log);
+  ignore (Engine.run e);
+  Alcotest.(check (list string)) "yield lets b run" [ "a1"; "b"; "a2" ]
+    (List.rev !log)
+
+let test_engine_clear_pending () =
+  let e = Engine.create () in
+  let fired = ref false in
+  Engine.spawn e (fun () ->
+      Engine.delay 1.0;
+      fired := true);
+  Engine.clear_pending e;
+  ignore (Engine.run e);
+  Alcotest.(check bool) "event dropped" false !fired
+
+let test_engine_suspend_resume () =
+  let resumer = ref (fun () -> ()) in
+  let e = Engine.create () in
+  let state = ref "init" in
+  Engine.spawn e (fun () ->
+      Engine.suspend (fun resume -> resumer := resume);
+      state := "resumed");
+  Engine.spawn e (fun () ->
+      Engine.delay 5.0;
+      !resumer ());
+  ignore (Engine.run e);
+  Alcotest.(check string) "resumed" "resumed" !state
+
+let test_engine_double_resume_rejected () =
+  let e = Engine.create () in
+  let resumer = ref (fun () -> ()) in
+  Engine.spawn e (fun () -> Engine.suspend (fun resume -> resumer := resume));
+  Engine.spawn e (fun () ->
+      Engine.delay 1.0;
+      !resumer ());
+  ignore (Engine.run e);
+  Alcotest.check_raises "double resume"
+    (Invalid_argument "Engine: resume called twice") (fun () -> !resumer ())
+
+let test_engine_events_counted () =
+  let e = Engine.create () in
+  Engine.spawn e (fun () ->
+      Engine.delay 1.0;
+      Engine.delay 1.0);
+  ignore (Engine.run e);
+  Alcotest.(check bool) "some events" true (Engine.events_executed e >= 3)
+
+let test_engine_nested_calls_can_delay () =
+  (* delay/suspend work from functions called by the process, without
+     threading the engine. *)
+  let helper () = Engine.delay 1.0 in
+  let t =
+    in_sim (fun e ->
+        helper ();
+        helper ();
+        Engine.now e)
+  in
+  Alcotest.(check (float 1e-12)) "nested delays" 2.0 t
+
+(* ---- Ivar ---- *)
+
+let test_ivar_fill_then_read () =
+  in_sim (fun _ ->
+      let iv = Sync.Ivar.create () in
+      Sync.Ivar.fill iv 7;
+      Alcotest.(check int) "read filled" 7 (Sync.Ivar.read iv))
+
+let test_ivar_blocks_until_fill () =
+  let e = Engine.create () in
+  let iv = Sync.Ivar.create () in
+  let got_at = ref nan in
+  Engine.spawn e (fun () ->
+      ignore (Sync.Ivar.read iv);
+      got_at := Engine.now e);
+  Engine.spawn e (fun () ->
+      Engine.delay 2.0;
+      Sync.Ivar.fill iv ());
+  ignore (Engine.run e);
+  Alcotest.(check (float 1e-12)) "woken at fill time" 2.0 !got_at
+
+let test_ivar_multiple_readers () =
+  let e = Engine.create () in
+  let iv = Sync.Ivar.create () in
+  let woken = ref 0 in
+  for _ = 1 to 5 do
+    Engine.spawn e (fun () ->
+        ignore (Sync.Ivar.read iv);
+        incr woken)
+  done;
+  Engine.spawn e (fun () ->
+      Engine.delay 1.0;
+      Sync.Ivar.fill iv 42);
+  ignore (Engine.run e);
+  Alcotest.(check int) "all woken" 5 !woken
+
+let test_ivar_double_fill_rejected () =
+  let iv = Sync.Ivar.create () in
+  Sync.Ivar.fill iv 1;
+  Alcotest.check_raises "double fill"
+    (Invalid_argument "Ivar.fill: already filled") (fun () ->
+      Sync.Ivar.fill iv 2)
+
+let test_ivar_peek () =
+  let iv = Sync.Ivar.create () in
+  Alcotest.(check (option int)) "empty" None (Sync.Ivar.peek iv);
+  Sync.Ivar.fill iv 3;
+  Alcotest.(check (option int)) "full" (Some 3) (Sync.Ivar.peek iv);
+  Alcotest.(check bool) "is_filled" true (Sync.Ivar.is_filled iv)
+
+let test_ivar_timeout_expires () =
+  let e = Engine.create () in
+  let iv : int Sync.Ivar.t = Sync.Ivar.create () in
+  let out = ref (Some 0) in
+  let woke_at = ref nan in
+  Engine.spawn e (fun () ->
+      out := Sync.Ivar.read_with_timeout iv 2.0;
+      woke_at := Engine.now e);
+  ignore (Engine.run e);
+  Alcotest.(check (option int)) "timed out" None !out;
+  Alcotest.(check (float 1e-12)) "woke at deadline" 2.0 !woke_at
+
+let test_ivar_timeout_beaten_by_fill () =
+  let e = Engine.create () in
+  let iv = Sync.Ivar.create () in
+  let out = ref None in
+  let woke_at = ref nan in
+  Engine.spawn e (fun () ->
+      out := Sync.Ivar.read_with_timeout iv 10.0;
+      woke_at := Engine.now e);
+  Engine.spawn e (fun () ->
+      Engine.delay 1.0;
+      Sync.Ivar.fill iv 9);
+  ignore (Engine.run e);
+  Alcotest.(check (option int)) "value" (Some 9) !out;
+  Alcotest.(check (float 1e-12)) "woke early" 1.0 !woke_at
+
+(* ---- Mailbox ---- *)
+
+let test_mailbox_fifo () =
+  in_sim (fun _ ->
+      let mb = Sync.Mailbox.create () in
+      Sync.Mailbox.send mb 1;
+      Sync.Mailbox.send mb 2;
+      Sync.Mailbox.send mb 3;
+      let a = Sync.Mailbox.recv mb in
+      let b = Sync.Mailbox.recv mb in
+      let c = Sync.Mailbox.recv mb in
+      Alcotest.(check (list int)) "order" [ 1; 2; 3 ] [ a; b; c ])
+
+let test_mailbox_blocking_recv () =
+  let e = Engine.create () in
+  let mb = Sync.Mailbox.create () in
+  let got = ref 0 in
+  Engine.spawn e (fun () -> got := Sync.Mailbox.recv mb);
+  Engine.spawn e (fun () ->
+      Engine.delay 1.0;
+      Sync.Mailbox.send mb 5);
+  ignore (Engine.run e);
+  Alcotest.(check int) "received" 5 !got
+
+let test_mailbox_competing_receivers () =
+  let e = Engine.create () in
+  let mb = Sync.Mailbox.create () in
+  let got = ref [] in
+  for _ = 1 to 2 do
+    Engine.spawn e (fun () ->
+        let v = Sync.Mailbox.recv mb in
+        got := v :: !got)
+  done;
+  Engine.spawn e (fun () ->
+      Engine.delay 1.0;
+      Sync.Mailbox.send mb 1;
+      Sync.Mailbox.send mb 2);
+  ignore (Engine.run e);
+  Alcotest.(check (list int)) "both delivered exactly once" [ 1; 2 ]
+    (List.sort compare !got)
+
+let test_mailbox_try_recv () =
+  let mb = Sync.Mailbox.create () in
+  Alcotest.(check (option int)) "empty" None (Sync.Mailbox.try_recv mb);
+  Sync.Mailbox.send mb 1;
+  Alcotest.(check (option int)) "nonempty" (Some 1) (Sync.Mailbox.try_recv mb);
+  Alcotest.(check bool) "is_empty" true (Sync.Mailbox.is_empty mb)
+
+(* ---- Semaphore / Mutex / Latch ---- *)
+
+let test_semaphore_limits_concurrency () =
+  let e = Engine.create () in
+  let sem = Sync.Semaphore.create 2 in
+  let active = ref 0 in
+  let peak = ref 0 in
+  for _ = 1 to 6 do
+    Engine.spawn e (fun () ->
+        Sync.Semaphore.acquire sem;
+        incr active;
+        if !active > !peak then peak := !active;
+        Engine.delay 1.0;
+        decr active;
+        Sync.Semaphore.release sem)
+  done;
+  ignore (Engine.run e);
+  Alcotest.(check int) "max concurrency" 2 !peak
+
+let test_semaphore_try_acquire () =
+  let sem = Sync.Semaphore.create 1 in
+  Alcotest.(check bool) "first" true (Sync.Semaphore.try_acquire sem);
+  Alcotest.(check bool) "second" false (Sync.Semaphore.try_acquire sem);
+  Sync.Semaphore.release sem;
+  Alcotest.(check bool) "after release" true (Sync.Semaphore.try_acquire sem)
+
+let test_mutex_exclusion () =
+  let e = Engine.create () in
+  let m = Sync.Mutex.create () in
+  let inside = ref false in
+  let violations = ref 0 in
+  for _ = 1 to 4 do
+    Engine.spawn e (fun () ->
+        Sync.Mutex.with_lock m (fun () ->
+            if !inside then incr violations;
+            inside := true;
+            Engine.delay 1.0;
+            inside := false))
+  done;
+  ignore (Engine.run e);
+  Alcotest.(check int) "no violations" 0 !violations
+
+let test_mutex_releases_on_exception () =
+  in_sim (fun _ ->
+      let m = Sync.Mutex.create () in
+      (try Sync.Mutex.with_lock m (fun () -> failwith "boom")
+       with Failure _ -> ());
+      (* Lock must be free again. *)
+      let entered = ref false in
+      Sync.Mutex.with_lock m (fun () -> entered := true);
+      Alcotest.(check bool) "reacquired" true !entered)
+
+let test_latch () =
+  let e = Engine.create () in
+  let latch = Sync.Latch.create 3 in
+  let released_at = ref nan in
+  Engine.spawn e (fun () ->
+      Sync.Latch.wait latch;
+      released_at := Engine.now e);
+  for i = 1 to 3 do
+    Engine.spawn e (fun () ->
+        Engine.delay (float_of_int i);
+        Sync.Latch.arrive latch)
+  done;
+  ignore (Engine.run e);
+  Alcotest.(check (float 1e-12)) "released at last arrival" 3.0 !released_at
+
+let test_latch_zero () =
+  in_sim (fun _ ->
+      let latch = Sync.Latch.create 0 in
+      Sync.Latch.wait latch (* must not block *))
+
+(* ---- Rng ---- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  let xs = List.init 100 (fun _ -> Rng.next_int64 a) in
+  let ys = List.init 100 (fun _ -> Rng.next_int64 b) in
+  Alcotest.(check bool) "same stream" true (xs = ys)
+
+let test_rng_split_independent () =
+  let a = Rng.create 42L in
+  let child = Rng.split a in
+  let xs = List.init 50 (fun _ -> Rng.next_int64 a) in
+  let ys = List.init 50 (fun _ -> Rng.next_int64 child) in
+  Alcotest.(check bool) "different streams" true (xs <> ys)
+
+let prop_rng_float_range =
+  qcase "float in [0,1)" QCheck.(int_bound 10000) (fun seed ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let v = Rng.float rng in
+      v >= 0.0 && v < 1.0)
+
+let prop_rng_int_bound =
+  qcase "int within bound"
+    QCheck.(pair (int_bound 1000) (int_range 1 500))
+    (fun (seed, bound) ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let test_rng_uniformity_rough () =
+  let rng = Rng.create 7L in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let b = Rng.int rng 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let frac = float_of_int c /. float_of_int n in
+      if frac < 0.08 || frac > 0.12 then
+        Alcotest.failf "bucket fraction %f out of tolerance" frac)
+    buckets
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 3L in
+  let a = Array.init 100 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "is permutation" true
+    (Array.to_list sorted = List.init 100 (fun i -> i));
+  Alcotest.(check bool) "actually shuffled" true
+    (Array.to_list a <> List.init 100 (fun i -> i))
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 11L in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng ~mean:5.0
+  done;
+  let mean = !sum /. float_of_int n in
+  if mean < 4.8 || mean > 5.2 then Alcotest.failf "mean %f not ~5.0" mean
+
+(* ---- Bits ---- *)
+
+let test_bits_msb () =
+  Alcotest.(check int) "msb 1" 0 (Bits.msb 1);
+  Alcotest.(check int) "msb 2" 1 (Bits.msb 2);
+  Alcotest.(check int) "msb 3" 1 (Bits.msb 3);
+  Alcotest.(check int) "msb 64" 6 (Bits.msb 64);
+  Alcotest.(check int) "msb max_int" 61 (Bits.msb (max_int / 2 + 1))
+
+let prop_bits_msb =
+  qcase "msb bounds value" QCheck.(int_range 1 max_int) (fun v ->
+      let m = Bits.msb v in
+      v >= 1 lsl m && (m >= 61 || v < 1 lsl (m + 1)))
+
+let test_bits_helpers () =
+  Alcotest.(check bool) "pow2 64" true (Bits.is_power_of_two 64);
+  Alcotest.(check bool) "pow2 63" false (Bits.is_power_of_two 63);
+  Alcotest.(check int) "ceil_div" 3 (Bits.ceil_div 5 2);
+  Alcotest.(check int) "round_up" 128 (Bits.round_up 100 64);
+  Alcotest.(check int) "round_up exact" 128 (Bits.round_up 128 64)
+
+(* ---- Hist ---- *)
+
+let test_hist_empty () =
+  let h = Hist.create () in
+  Alcotest.(check int) "count" 0 (Hist.count h);
+  Alcotest.(check int) "p99" 0 (Hist.percentile h 99.0);
+  Alcotest.(check (float 0.0)) "mean" 0.0 (Hist.mean h)
+
+let test_hist_exact_small_values () =
+  let h = Hist.create () in
+  List.iter (Hist.record h) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check int) "median" 3 (Hist.median h);
+  Alcotest.(check int) "min" 1 (Hist.min_value h);
+  Alcotest.(check int) "max" 5 (Hist.max_value h);
+  check_approx "mean" (Hist.mean h) 3.0
+
+let test_hist_percentile_monotone () =
+  let h = Hist.create () in
+  let rng = Rng.create 5L in
+  for _ = 1 to 10_000 do
+    Hist.record h (Rng.int rng 1_000_000)
+  done;
+  let last = ref 0 in
+  List.iter
+    (fun p ->
+      let v = Hist.percentile h p in
+      if v < !last then Alcotest.failf "percentile not monotone at %f" p;
+      last := v)
+    [ 1.0; 10.0; 25.0; 50.0; 75.0; 90.0; 99.0; 99.9; 100.0 ]
+
+let test_hist_relative_error () =
+  let h = Hist.create () in
+  Hist.record h 1_000_000;
+  let p = Hist.percentile h 100.0 in
+  let err = Float.abs (float_of_int p -. 1e6) /. 1e6 in
+  if err > 0.04 then Alcotest.failf "bucket error %f too large" err
+
+let test_hist_merge () =
+  let a = Hist.create () and b = Hist.create () in
+  List.iter (Hist.record a) [ 1; 2; 3 ];
+  List.iter (Hist.record b) [ 10; 20; 30 ];
+  Hist.merge ~into:a b;
+  Alcotest.(check int) "count" 6 (Hist.count a);
+  Alcotest.(check int) "max" 30 (Hist.max_value a);
+  Alcotest.(check int) "min" 1 (Hist.min_value a)
+
+let test_hist_record_span () =
+  let h = Hist.create () in
+  Hist.record_span h 1e-6;
+  Alcotest.(check bool) "about 1000 ns" true
+    (Hist.max_value h >= 990 && Hist.max_value h <= 1010)
+
+let test_hist_negative_clamped () =
+  let h = Hist.create () in
+  Hist.record h (-5);
+  Alcotest.(check int) "clamped to 0" 0 (Hist.max_value h)
+
+let prop_hist_percentile_bounds =
+  qcase "percentiles within [min,max]"
+    QCheck.(list_of_size (Gen.int_range 1 200) (int_bound 1_000_000))
+    (fun vs ->
+      let h = Hist.create () in
+      List.iter (Hist.record h) vs;
+      let p50 = Hist.percentile h 50.0 in
+      p50 >= Hist.min_value h && p50 <= Hist.max_value h)
+
+(* ---- Metric ---- *)
+
+let test_counter () =
+  let c = Metric.Counter.create () in
+  Metric.Counter.incr c;
+  Metric.Counter.add c 5;
+  Alcotest.(check int) "value" 6 (Metric.Counter.value c);
+  Metric.Counter.reset c;
+  Alcotest.(check int) "reset" 0 (Metric.Counter.value c)
+
+let test_timeline () =
+  let tl = Metric.Timeline.create ~interval:1.0 in
+  Metric.Timeline.tick tl ~now:0.5;
+  Metric.Timeline.tick tl ~now:0.7;
+  Metric.Timeline.tick tl ~now:2.1;
+  Metric.Timeline.mark tl ~now:2.5 "gc";
+  let windows = Metric.Timeline.windows tl in
+  Alcotest.(check int) "two windows" 2 (List.length windows);
+  (match windows with
+  | [ (t0, c0, m0); (t2, c2, m2) ] ->
+      Alcotest.(check (float 1e-9)) "w0 start" 0.0 t0;
+      Alcotest.(check int) "w0 count" 2 c0;
+      Alcotest.(check (list string)) "w0 marks" [] m0;
+      Alcotest.(check (float 1e-9)) "w2 start" 2.0 t2;
+      Alcotest.(check int) "w2 count" 1 c2;
+      Alcotest.(check (list string)) "w2 marks" [ "gc" ] m2
+  | _ -> Alcotest.fail "unexpected windows")
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "heap",
+        [
+          case "ordering" test_heap_order;
+          case "fifo ties" test_heap_fifo_ties;
+          case "empty" test_heap_empty;
+          case "interleaved" test_heap_interleaved;
+          prop_heap_sorted;
+        ] );
+      ( "engine",
+        [
+          case "delay advances time" test_engine_delay_advances_time;
+          case "processes interleave" test_engine_two_processes_interleave;
+          case "run until" test_engine_run_until;
+          case "stop" test_engine_stop;
+          case "negative delay" test_engine_negative_delay_rejected;
+          case "schedule callback" test_engine_schedule_callback;
+          case "same-time order" test_engine_same_time_order;
+          case "yield" test_engine_yield_reorders;
+          case "clear pending" test_engine_clear_pending;
+          case "suspend/resume" test_engine_suspend_resume;
+          case "double resume rejected" test_engine_double_resume_rejected;
+          case "event count" test_engine_events_counted;
+          case "nested delays" test_engine_nested_calls_can_delay;
+        ] );
+      ( "ivar",
+        [
+          case "fill then read" test_ivar_fill_then_read;
+          case "blocks until fill" test_ivar_blocks_until_fill;
+          case "multiple readers" test_ivar_multiple_readers;
+          case "double fill" test_ivar_double_fill_rejected;
+          case "peek" test_ivar_peek;
+          case "timeout expires" test_ivar_timeout_expires;
+          case "fill beats timeout" test_ivar_timeout_beaten_by_fill;
+        ] );
+      ( "mailbox",
+        [
+          case "fifo" test_mailbox_fifo;
+          case "blocking recv" test_mailbox_blocking_recv;
+          case "competing receivers" test_mailbox_competing_receivers;
+          case "try_recv" test_mailbox_try_recv;
+        ] );
+      ( "semaphore",
+        [
+          case "limits concurrency" test_semaphore_limits_concurrency;
+          case "try acquire" test_semaphore_try_acquire;
+          case "mutex exclusion" test_mutex_exclusion;
+          case "mutex exception safety" test_mutex_releases_on_exception;
+          case "latch" test_latch;
+          case "latch zero" test_latch_zero;
+        ] );
+      ( "rng",
+        [
+          case "deterministic" test_rng_deterministic;
+          case "split independent" test_rng_split_independent;
+          prop_rng_float_range;
+          prop_rng_int_bound;
+          case "rough uniformity" test_rng_uniformity_rough;
+          case "shuffle permutation" test_rng_shuffle_permutation;
+          case "exponential mean" test_rng_exponential_mean;
+        ] );
+      ( "bits",
+        [
+          case "msb" test_bits_msb;
+          prop_bits_msb;
+          case "helpers" test_bits_helpers;
+        ] );
+      ( "hist",
+        [
+          case "empty" test_hist_empty;
+          case "exact small" test_hist_exact_small_values;
+          case "percentile monotone" test_hist_percentile_monotone;
+          case "relative error" test_hist_relative_error;
+          case "merge" test_hist_merge;
+          case "record span" test_hist_record_span;
+          case "negative clamped" test_hist_negative_clamped;
+          prop_hist_percentile_bounds;
+        ] );
+      ( "metric",
+        [ case "counter" test_counter; case "timeline" test_timeline ] );
+    ]
