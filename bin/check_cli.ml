@@ -1,0 +1,239 @@
+(* prism-check: schedule exploration, linearizability checking, and
+   crash-point sweeps for the simulated stores.
+
+     dune exec bin/prism_check.exe -- --seed 42 --schedules 50
+     dune exec bin/prism_check.exe -- --seed 42 --crash-every 5
+     dune exec bin/prism_check.exe -- --store kvell --schedules 20 \
+         --crash-every 10
+     dune exec bin/prism_check.exe -- --schedules 10 --fault svc
+     dune exec bin/prism_check.exe -- --replay 0x1234abcd
+
+   Exit status is non-zero when any schedule fails its linearizability
+   check or any crash point loses an acknowledged write; failures print a
+   replayable tie seed. *)
+
+open Prism_check
+
+let run_explore ~schedules ~cfg ~verbose =
+  Printf.printf
+    "exploring %d schedules: %s, %d threads x %d ops over %d keys, seed \
+     0x%Lx, fault %s\n\
+     %!"
+    schedules
+    (match cfg.Explore.store with `Prism -> "prism" | `Kvell -> "kvell")
+    cfg.Explore.threads cfg.Explore.ops_per_thread cfg.Explore.records
+    cfg.Explore.seed
+    (match cfg.Explore.fault with
+    | Explore.No_fault -> "none"
+    | Explore.Skip_svc_invalidate -> "svc"
+    | Explore.Skip_hsit_flush -> "hsit");
+  let progress s =
+    if verbose then
+      Printf.printf
+        "  schedule %3d  tie-seed 0x%016Lx  %4d events  %4d tie choices  \
+         clock %.6fs\n\
+         %!"
+        s.Explore.index s.Explore.tie_seed s.Explore.events s.Explore.choices
+        s.Explore.clock
+  in
+  let report = Explore.run ~progress ~schedules cfg in
+  Printf.printf "explored %d schedules (%d distinct interleavings)\n"
+    (List.length report.Explore.schedules)
+    report.Explore.distinct;
+  (match report.Explore.failures with
+  | [] -> Printf.printf "all schedules linearizable\n"
+  | failures ->
+      List.iter
+        (fun f ->
+          Printf.printf
+            "FAILURE: schedule %d is not linearizable\n\
+            \  replay with: --replay 0x%Lx%s\n\
+             %s\n"
+            f.Explore.stats.Explore.index f.Explore.stats.Explore.tie_seed
+            (match cfg.Explore.fault with
+            | Explore.No_fault -> ""
+            | Explore.Skip_svc_invalidate -> " --fault svc"
+            | Explore.Skip_hsit_flush -> " --fault hsit")
+            f.Explore.violation)
+        failures);
+  report.Explore.failures = []
+
+let run_replay ~cfg ~tie_seed =
+  Printf.printf "replaying schedule with tie-seed 0x%Lx\n%!" tie_seed;
+  match Explore.replay cfg ~tie_seed with
+  | None ->
+      Printf.printf "schedule is linearizable\n";
+      true
+  | Some violation ->
+      Printf.printf "FAILURE:\n%s\n" violation;
+      false
+
+let run_sweep ~cfg ~verbose =
+  Printf.printf
+    "crash sweep: %s, every %d%s boundary, %d threads x %d ops, seed 0x%Lx%s\n\
+     %!"
+    (match cfg.Crash_sweep.store with `Prism -> "prism" | `Kvell -> "kvell")
+    cfg.Crash_sweep.crash_every
+    (match cfg.Crash_sweep.store with
+    | `Prism -> "th durability"
+    | `Kvell -> "th-event time-grid")
+    cfg.Crash_sweep.threads cfg.Crash_sweep.ops_per_thread
+    cfg.Crash_sweep.seed
+    (if cfg.Crash_sweep.fault_skip_hsit_flush then
+       " (HSIT flush disabled!)"
+     else "")
+  ;
+  let progress ~boundary ~crash_point =
+    if verbose then
+      Printf.printf "  crashed at %s boundary %d, recovered\n%!" boundary
+        crash_point
+  in
+  let report = Crash_sweep.run ~progress cfg in
+  List.iter
+    (fun (name, total) ->
+      Printf.printf "%s boundaries in clean run: %d\n" name total)
+    report.Crash_sweep.boundaries;
+  Printf.printf "injected %d crash points\n" report.Crash_sweep.crash_points;
+  (match report.Crash_sweep.violations with
+  | [] ->
+      Printf.printf
+        "all recoveries consistent: no lost acknowledged writes, no \
+         resurrected deletes\n"
+  | vs ->
+      List.iter
+        (fun v ->
+          Printf.printf "VIOLATION at %s boundary %d, key %s: %s\n"
+            v.Crash_sweep.boundary v.Crash_sweep.crash_point
+            v.Crash_sweep.key v.Crash_sweep.detail)
+        vs);
+  report.Crash_sweep.violations = []
+
+let main store seed schedules crash_every replay fault threads ops records
+    keys_per_thread verbose =
+  let fault =
+    match fault with
+    | "none" -> Explore.No_fault
+    | "svc" -> Explore.Skip_svc_invalidate
+    | "hsit" -> Explore.Skip_hsit_flush
+    | other ->
+        Printf.eprintf "unknown --fault %S (use none|svc|hsit)\n" other;
+        exit 2
+  in
+  let store =
+    match store with
+    | "prism" -> `Prism
+    | "kvell" -> `Kvell
+    | other ->
+        Printf.eprintf "unknown --store %S (use prism|kvell)\n" other;
+        exit 2
+  in
+  let explore_cfg =
+    {
+      Explore.default with
+      Explore.store;
+      threads;
+      ops_per_thread = ops;
+      records;
+      fault;
+      seed;
+    }
+  in
+  let sweep_cfg =
+    {
+      Crash_sweep.default with
+      Crash_sweep.store;
+      threads;
+      ops_per_thread = ops;
+      keys_per_thread;
+      crash_every = max 1 crash_every;
+      fault_skip_hsit_flush = fault = Explore.Skip_hsit_flush;
+      seed;
+    }
+  in
+  let ok = ref true in
+  let did = ref false in
+  (match replay with
+  | Some tie_seed ->
+      did := true;
+      if not (run_replay ~cfg:explore_cfg ~tie_seed) then ok := false
+  | None -> ());
+  if schedules > 0 then begin
+    did := true;
+    if not (run_explore ~schedules ~cfg:explore_cfg ~verbose) then ok := false
+  end;
+  if crash_every > 0 && replay = None then begin
+    did := true;
+    if not (run_sweep ~cfg:sweep_cfg ~verbose) then ok := false
+  end;
+  if not !did then begin
+    Printf.eprintf
+      "nothing to do: pass --schedules N, --crash-every K, or --replay SEED\n";
+    exit 2
+  end;
+  if !ok then 0 else 1
+
+open Cmdliner
+
+let store =
+  Arg.(value & opt string "prism" & info [ "store" ] ~docv:"STORE"
+         ~doc:"Store to check: $(b,prism) or $(b,kvell).")
+
+let seed =
+  Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"SEED"
+         ~doc:"Master seed: workload and all per-schedule tie seeds derive \
+               from it.")
+
+let schedules =
+  Arg.(value & opt int 0 & info [ "schedules" ] ~docv:"N"
+         ~doc:"Explore $(docv) seeded interleavings and check each history \
+               for linearizability.")
+
+let crash_every =
+  Arg.(value & opt int 0 & info [ "crash-every" ] ~docv:"K"
+         ~doc:"Sweep crash points at every $(docv)-th durability boundary \
+               and audit recovery.")
+
+let replay =
+  Arg.(value & opt (some int64) None & info [ "replay" ] ~docv:"TIESEED"
+         ~doc:"Replay the single schedule named by a tie seed from a \
+               failure report.")
+
+let fault =
+  Arg.(value & opt string "none" & info [ "fault" ] ~docv:"FAULT"
+         ~doc:"Deliberate bug to inject: $(b,none), $(b,svc) (skip cache \
+               invalidation; breaks linearizability), or $(b,hsit) (skip \
+               pointer persists; loses acknowledged writes across crashes).")
+
+let threads =
+  Arg.(value & opt int 4 & info [ "threads" ] ~docv:"T"
+         ~doc:"Concurrent client threads.")
+
+let ops =
+  Arg.(value & opt int 48 & info [ "ops" ] ~docv:"OPS"
+         ~doc:"Operations per thread.")
+
+let records =
+  Arg.(value & opt int 128 & info [ "records" ] ~docv:"R"
+         ~doc:"Preloaded keys for schedule exploration (kept small to force \
+               contention).")
+
+let keys_per_thread =
+  Arg.(value & opt int 24 & info [ "keys-per-thread" ] ~docv:"KEYS"
+         ~doc:"Keys owned by each thread in the crash sweep.")
+
+let verbose =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Per-schedule and \
+                                                    per-crash-point progress.")
+
+let cmd =
+  let doc =
+    "schedule exploration, linearizability checking, and crash-point \
+     sweeps for the Prism simulation"
+  in
+  Cmd.v
+    (Cmd.info "prism-check" ~doc)
+    Term.(
+      const main $ store $ seed $ schedules $ crash_every $ replay $ fault
+      $ threads $ ops $ records $ keys_per_thread $ verbose)
+
+let () = exit (Cmd.eval' cmd)

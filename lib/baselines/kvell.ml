@@ -20,12 +20,12 @@ type job = { request : request; reply : reply Sync.Ivar.t }
 type worker = {
   wid : int;
   device : Model.t;
-  uring : Io_uring.t;
+  mutable uring : Io_uring.t;
   index : (int * int) Prism_index.Btree.t; (* key -> (page, slot) *)
   index_nodes : int ref;
   contents : (string, bytes) Hashtbl.t; (* durable page payloads, by key *)
   cache : (int, unit) Lru.t; (* page cache: page number -> present *)
-  queue : job Sync.Mailbox.t;
+  mutable queue : job Sync.Mailbox.t;
   (* Slab allocation: per size-class open page and free-slot lists. *)
   free_slots : (int, (int * int) Queue.t) Hashtbl.t; (* class -> slots *)
   mutable next_page : int;
@@ -317,6 +317,26 @@ let ssd_bytes_written t =
         acc + Model.bytes_written w.device
       end)
     0 t.workers
+
+let crash t =
+  (* Power failure: DRAM state — page cache, request queues, in-flight
+     rings — is gone; [contents] plays the durable page image.
+     [worker_round] applies mutations before submitting their page
+     writes, so the image may hold writes that were in flight but never
+     acknowledged; the checker's oracle admits those as pending outcomes.
+     The caller must [Engine.clear_pending] first so the old worker loops
+     (and any blocked clients) are dead, then respawning here gives each
+     worker a fresh queue and ring. *)
+  Array.iter
+    (fun w ->
+      Lru.clear w.cache;
+      w.queue <- Sync.Mailbox.create ();
+      w.uring <-
+        Io_uring.create t.engine w.device ~queue_depth:t.queue_depth
+          ~cost:t.cost;
+      w.index_nodes := 0)
+    t.workers;
+  Array.iter (fun w -> start_worker t w) t.workers
 
 let recover t =
   (* Each worker scans its pages to rebuild the index; workers proceed in

@@ -47,6 +47,13 @@ val scan : t -> from:string -> count:int -> (string * bytes) list
 (** Aggregate SSD bytes written (WAF numerator). *)
 val ssd_bytes_written : t -> int
 
+(** [crash t] simulates a power failure: page caches, request queues, and
+    in-flight rings are discarded and fresh worker loops are spawned. The
+    caller must run [Prism_sim.Engine.clear_pending] first so the old
+    loops are dead. Writes that were applied but not yet acknowledged may
+    survive (there is no WAL; the page image is the only truth). *)
+val crash : t -> unit
+
 (** [recover t] models restart: every worker scans its entire SSD slice to
     rebuild its in-memory index (§7.6: "KVell needs to scan the entire
     SSD"). Charges device time; returns when all workers finish. *)

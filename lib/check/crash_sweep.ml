@@ -1,0 +1,345 @@
+open Prism_sim
+open Prism_harness
+
+exception Crash_now
+
+type config = {
+  store : [ `Prism | `Kvell ];
+  threads : int;
+  keys_per_thread : int;
+  ops_per_thread : int;
+  value_size : int;
+  crash_every : int;
+  fault_skip_hsit_flush : bool;
+  seed : int64;
+}
+
+let default =
+  {
+    store = `Prism;
+    threads = 4;
+    keys_per_thread = 24;
+    ops_per_thread = 60;
+    value_size = 128;
+    crash_every = 5;
+    fault_skip_hsit_flush = false;
+    seed = 1L;
+  }
+
+type violation = {
+  crash_point : int;
+  boundary : string;
+  key : string;
+  detail : string;
+}
+
+type report = {
+  crash_points : int;
+  boundaries : (string * int) list;  (** boundary kind -> clean-run count *)
+  violations : violation list;
+}
+
+(* ---- deterministic workload with an acknowledgement oracle ---- *)
+
+(* Each thread owns a disjoint key range, so every key's operation
+   sequence is sequential and "the last acknowledged write" is
+   well-defined without a linearizability search. [Some v] is a put of
+   version [v]; [None] is a delete. *)
+let thread_ops cfg tid =
+  let rng = Rng.create (Int64.add cfg.seed (Int64.of_int ((tid * 7919) + 1))) in
+  Array.init cfg.ops_per_thread (fun j ->
+      let key =
+        Prism_workload.Ycsb.key_of
+          ((tid * cfg.keys_per_thread) + Rng.int rng cfg.keys_per_thread)
+      in
+      if Rng.int rng 5 = 0 then (key, None) else (key, Some (j + 1)))
+
+let all_ops cfg = Array.init cfg.threads (thread_ops cfg)
+
+let value_of cfg ~key ~version =
+  Prism_workload.Ycsb.value_for ~size:cfg.value_size ~key ~version
+
+(* Acknowledged vs pending state, updated around every operation. At a
+   crash instant each key has its last acked write plus at most one
+   pending operation (single owner thread), and the recovered value must
+   be one of those two outcomes — any acked write lost, or any deleted
+   key resurrected, is a violation. *)
+type oracle = {
+  acked : (string, int option) Hashtbl.t;
+  pending : (string, int option) Hashtbl.t;
+}
+
+let make_oracle () = { acked = Hashtbl.create 256; pending = Hashtbl.create 8 }
+
+let run_workload cfg (kv : Kv.t) oracle ops =
+  Array.iteri
+    (fun tid thread_ops ->
+      Engine.spawn (Engine.current ()) (fun () ->
+          Array.iter
+            (fun (key, what) ->
+              Hashtbl.replace oracle.pending key what;
+              (match what with
+              | Some version ->
+                  kv.Kv.put ~tid key (value_of cfg ~key ~version)
+              | None -> ignore (kv.Kv.delete ~tid key));
+              Hashtbl.replace oracle.acked key what;
+              Hashtbl.remove oracle.pending key)
+            thread_ops))
+    ops
+
+let check_recovered cfg kv oracle ~crash_point ~boundary =
+  let violations = ref [] in
+  let admissible key =
+    let base =
+      match Hashtbl.find_opt oracle.acked key with
+      | None | Some None -> [ None ]
+      | Some (Some v) -> [ Some v ]
+    in
+    match Hashtbl.find_opt oracle.pending key with
+    | None -> base
+    | Some p -> if List.mem p base then base else p :: base
+  in
+  let describe = function
+    | None -> "absent"
+    | Some v -> Printf.sprintf "version %d" v
+  in
+  let keys = Hashtbl.create 256 in
+  Array.iter
+    (fun ops -> Array.iter (fun (key, _) -> Hashtbl.replace keys key ()) ops)
+    (all_ops cfg);
+  Hashtbl.iter
+    (fun key () ->
+      let adm = admissible key in
+      let fail detail =
+        violations :=
+          { crash_point; boundary; key; detail } :: !violations
+      in
+      match kv.Kv.get ~tid:0 key with
+      | None ->
+          if not (List.mem None adm) then
+            fail
+              (Printf.sprintf
+                 "lost acknowledged write: expected %s, found nothing"
+                 (String.concat " or " (List.map describe adm)))
+      | Some bytes -> (
+          match Prism_workload.Ycsb.version_of bytes with
+          | None -> fail "recovered value has no version stamp"
+          | Some v ->
+              if not (List.mem (Some v) adm) then
+                fail
+                  (Printf.sprintf
+                     "recovered version %d, expected %s (resurrected or \
+                      phantom write)"
+                     v
+                     (String.concat " or " (List.map describe adm)))
+              else if
+                not (Bytes.equal bytes (value_of cfg ~key ~version:v))
+              then fail (Printf.sprintf "payload of version %d corrupted" v)))
+    keys;
+  !violations
+
+(* ---- Prism sweep: crash at every k-th durability boundary ---- *)
+
+let scenario cfg =
+  {
+    Setup.default_scenario with
+    Setup.records = cfg.threads * cfg.keys_per_thread;
+    value_size = cfg.value_size;
+    threads = cfg.threads;
+    num_ssds = 2;
+    seed = cfg.seed;
+  }
+
+let prism_tweak cfg c =
+  (* Small PWBs force reclamation into Value Storage mid-run, so crashes
+     also land between chunk-write completions (the ssd-write boundary
+     sweep is vacuous if nothing ever leaves the write buffer). *)
+  let c = { c with Prism_core.Config.pwb_size = 8 * 1024 } in
+  if cfg.fault_skip_hsit_flush then
+    { c with Prism_core.Config.fault_skip_hsit_flush = true }
+  else c
+
+type prism_boundary = Nvm_persist | Ssd_write
+
+let boundary_name = function
+  | Nvm_persist -> "nvm-persist"
+  | Ssd_write -> "ssd-write"
+
+let install_prism_hook store boundary ~state ~target =
+  (* [state] carries the boundary count at installation time (store
+     creation also persists); targets are relative to it so clean-run and
+     crash-run counts line up by determinism of the simulation prefix. *)
+  match boundary with
+  | Nvm_persist ->
+      let nvm = Prism_core.Store.nvm store in
+      state := Prism_media.Nvm.persist_count nvm;
+      Prism_media.Nvm.set_persist_hook nvm
+        (Some (fun c -> if c - !state = target then raise Crash_now))
+  | Ssd_write ->
+      let seen = ref 0 in
+      state := 0;
+      Array.iter
+        (fun vs ->
+          Prism_media.Ssd_image.set_write_hook (Prism_core.Value_storage.image vs)
+            (Some
+               (fun _ ->
+                 incr seen;
+                 if !seen = target then raise Crash_now)))
+        (Prism_core.Store.value_storages store)
+
+let uninstall_prism_hooks store =
+  Prism_media.Nvm.set_persist_hook (Prism_core.Store.nvm store) None;
+  Array.iter
+    (fun vs ->
+      Prism_media.Ssd_image.set_write_hook (Prism_core.Value_storage.image vs)
+        None)
+    (Prism_core.Store.value_storages store)
+
+(* Runs one simulation; [target = 0] means no crash (clean run). Returns
+   the clean-run boundary counts or the violations found after crash
+   recovery. *)
+let run_prism cfg boundary ~target =
+  let engine = Engine.create () in
+  let oracle = make_oracle () in
+  let handles = ref None in
+  let state = ref 0 in
+  Engine.spawn engine (fun () ->
+      let kv, store = Setup.prism ~tweak:(prism_tweak cfg) engine (scenario cfg) in
+      handles := Some (kv, store);
+      if target > 0 then install_prism_hook store boundary ~state ~target
+      else
+        (* Clean run: remember the creation-time persist count so the
+           reported boundary totals cover only the workload. *)
+        state :=
+          Prism_media.Nvm.persist_count (Prism_core.Store.nvm store);
+      run_workload cfg kv oracle (all_ops cfg));
+  let crashed =
+    match Engine.run engine with
+    | (_ : float) -> false
+    | exception Crash_now -> true
+  in
+  match (!handles, crashed) with
+  | None, _ -> Error `Crashed_before_store (* target inside store creation *)
+  | Some (_, store), false ->
+      let nvm_boundaries =
+        Prism_media.Nvm.persist_count (Prism_core.Store.nvm store) - !state
+      in
+      let ssd_boundaries =
+        Array.fold_left
+          (fun acc vs ->
+            acc
+            + Prism_media.Ssd_image.write_count (Prism_core.Value_storage.image vs))
+          0
+          (Prism_core.Store.value_storages store)
+      in
+      Ok (`Completed (nvm_boundaries, ssd_boundaries))
+  | Some (kv, store), true ->
+      uninstall_prism_hooks store;
+      Engine.clear_pending engine;
+      Prism_core.Store.crash store;
+      let violations = ref [] in
+      Engine.spawn engine (fun () ->
+          ignore (Prism_core.Store.recover store);
+          violations :=
+            check_recovered cfg kv oracle ~crash_point:target
+              ~boundary:(boundary_name boundary));
+      ignore (Engine.run engine);
+      Ok (`Crashed !violations)
+
+(* ---- KVell sweep: crash on an even virtual-time grid ---- *)
+
+let kvell_instance cfg engine =
+  Explore.kvell_sync engine (scenario cfg)
+
+let run_kvell cfg ~crash_at ~crash_point =
+  let engine = Engine.create () in
+  let oracle = make_oracle () in
+  let handles = ref None in
+  (match crash_at with
+  | Some t -> Engine.schedule engine ~after:t (fun () -> raise Crash_now)
+  | None -> ());
+  Engine.spawn engine (fun () ->
+      let kvell, kv = kvell_instance cfg engine in
+      handles := Some (kvell, kv);
+      run_workload cfg kv oracle (all_ops cfg));
+  let crashed =
+    match Engine.run engine with
+    | (_ : float) -> false
+    | exception Crash_now -> true
+  in
+  if not crashed then Ok (`Completed (Engine.now engine, Engine.events_executed engine))
+  else
+    match !handles with
+    | None -> Error `Crashed_before_store
+    | Some (kvell, kv) ->
+        Engine.clear_pending engine;
+        Prism_baselines.Kvell.crash kvell;
+        let violations = ref [] in
+        Engine.spawn engine (fun () ->
+            Prism_baselines.Kvell.recover kvell;
+            violations :=
+              check_recovered cfg kv oracle ~crash_point
+                ~boundary:"virtual-time");
+        ignore (Engine.run engine);
+        Ok (`Crashed !violations)
+
+(* ---- driver ---- *)
+
+let run ?(progress = fun ~boundary:_ ~crash_point:_ -> ()) cfg =
+  let k = max 1 cfg.crash_every in
+  match cfg.store with
+  | `Prism ->
+      let nvm_total, ssd_total =
+        match run_prism cfg Nvm_persist ~target:0 with
+        | Ok (`Completed counts) -> counts
+        | Ok (`Crashed _) | Error _ -> assert false
+      in
+      let crash_points = ref 0 in
+      let violations = ref [] in
+      let sweep boundary total =
+        let target = ref k in
+        while !target <= total do
+          (match run_prism cfg boundary ~target:!target with
+          | Ok (`Crashed v) ->
+              incr crash_points;
+              violations := v @ !violations;
+              progress ~boundary:(boundary_name boundary)
+                ~crash_point:!target
+          | Ok (`Completed _) ->
+              (* Reached past the last boundary of this run; stop. *)
+              target := total
+          | Error `Crashed_before_store -> ());
+          target := !target + k
+        done
+      in
+      sweep Nvm_persist nvm_total;
+      sweep Ssd_write ssd_total;
+      {
+        crash_points = !crash_points;
+        boundaries =
+          [ ("nvm-persist", nvm_total); ("ssd-write", ssd_total) ];
+        violations = List.rev !violations;
+      }
+  | `Kvell ->
+      let total_time, total_events =
+        match run_kvell cfg ~crash_at:None ~crash_point:0 with
+        | Ok (`Completed r) -> r
+        | Ok (`Crashed _) | Error _ -> assert false
+      in
+      let n_points = max 1 (total_events / k) in
+      let crash_points = ref 0 in
+      let violations = ref [] in
+      for i = 1 to n_points do
+        let t = total_time *. float_of_int i /. float_of_int (n_points + 1) in
+        match run_kvell cfg ~crash_at:(Some t) ~crash_point:i with
+        | Ok (`Crashed v) ->
+            incr crash_points;
+            violations := v @ !violations;
+            progress ~boundary:"virtual-time" ~crash_point:i
+        | Ok (`Completed _) | Error `Crashed_before_store -> ()
+      done;
+      {
+        crash_points = !crash_points;
+        boundaries = [ ("virtual-time", n_points) ];
+        violations = List.rev !violations;
+      }

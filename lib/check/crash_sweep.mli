@@ -1,0 +1,50 @@
+(** Crash-point sweep: run a seeded workload, cut power at every k-th
+    durability boundary, recover, and check that the recovered state is a
+    consistent per-key prefix — every acknowledged write present (or
+    superseded by the one in-flight operation), no deleted key
+    resurrected, no value from the future.
+
+    Each workload thread owns a disjoint key range, so per-key operation
+    sequences are sequential and "last acknowledged write" needs no
+    linearizability search. Boundaries are observed through the hook
+    counters: {!Prism_media.Nvm.set_persist_hook} (every [clwb+sfence])
+    and {!Prism_media.Ssd_image.set_write_hook} (every completed chunk
+    write) for Prism; KVell's page writes carry no content image, so its
+    sweep uses an even virtual-time grid sized to one crash per
+    [crash_every] executed events. The injection hook raises inside the
+    simulation, which unwinds {!Prism_sim.Engine.run}; the sweep then
+    clears pending events, crashes the store, recovers, and audits. *)
+
+type config = {
+  store : [ `Prism | `Kvell ];
+  threads : int;
+  keys_per_thread : int;  (** disjoint per-thread key ranges *)
+  ops_per_thread : int;
+  value_size : int;
+  crash_every : int;  (** inject at every k-th boundary *)
+  fault_skip_hsit_flush : bool;
+      (** deliberately break the §5.4 persist protocol (Prism only); the
+          sweep must then report lost acknowledged writes *)
+  seed : int64;
+}
+
+val default : config
+
+type violation = {
+  crash_point : int;  (** boundary ordinal (or grid index) injected at *)
+  boundary : string;  (** ["nvm-persist"], ["ssd-write"], ["virtual-time"] *)
+  key : string;
+  detail : string;
+}
+
+type report = {
+  crash_points : int;  (** crashes actually injected *)
+  boundaries : (string * int) list;  (** clean-run boundary counts *)
+  violations : violation list;
+}
+
+(** [run cfg] performs the full sweep: one clean run to count boundaries,
+    then one crash-and-recover run per injection point. [progress] fires
+    after each injected crash. *)
+val run :
+  ?progress:(boundary:string -> crash_point:int -> unit) -> config -> report

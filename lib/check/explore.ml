@@ -1,0 +1,214 @@
+open Prism_sim
+open Prism_harness
+
+type fault = No_fault | Skip_svc_invalidate | Skip_hsit_flush
+
+type config = {
+  store : [ `Prism | `Kvell ];
+  threads : int;
+  records : int;
+  value_size : int;
+  ops_per_thread : int;
+  theta : float;
+  fault : fault;
+  seed : int64;
+}
+
+let default =
+  {
+    store = `Prism;
+    threads = 4;
+    records = 128;
+    value_size = 64;
+    ops_per_thread = 48;
+    theta = 0.6;
+    fault = No_fault;
+    seed = 1L;
+  }
+
+type schedule_stats = {
+  index : int;
+  tie_seed : int64;
+  events : int;
+  clock : float;
+  choices : int;
+  fingerprint : int;
+}
+
+type failure = { stats : schedule_stats; violation : string }
+
+type report = {
+  schedules : schedule_stats list;
+  distinct : int;
+  failures : failure list;
+}
+
+(* Deterministic per-schedule tie seed: schedule [i] of master seed [s]
+   always explores the same interleaving (SplitMix64's odd-gamma mix). *)
+let tie_seed_for seed i =
+  Int64.logxor seed (Int64.mul (Int64.of_int (i + 1)) 0x9E3779B97F4A7C15L)
+
+let preload_value cfg key =
+  Prism_workload.Ycsb.value_for ~size:cfg.value_size ~key ~version:0
+
+(* The YCSB-A slice: a 50/50 read/update stream from the shared generator,
+   with a sprinkle of deletes and short scans so all four operations get
+   history coverage. Generated once per (config, seed) — every schedule of
+   a run replays the same per-thread op lists, so only the interleaving
+   differs. *)
+type op =
+  | O_put of string * bytes
+  | O_get of string
+  | O_delete of string
+  | O_scan of string * int
+
+let gen_ops cfg =
+  let rng = Rng.create cfg.seed in
+  let gen =
+    Prism_workload.Ycsb.create Prism_workload.Ycsb.ycsb_a ~records:cfg.records
+      ~theta:cfg.theta ~value_size:cfg.value_size rng
+  in
+  let spice = Rng.create (Int64.lognot cfg.seed) in
+  Array.init cfg.threads (fun _ ->
+      Array.init cfg.ops_per_thread (fun _ ->
+          match Prism_workload.Ycsb.next gen with
+          | Prism_workload.Ycsb.Update (key, value) ->
+              if Rng.int spice 8 = 0 then O_delete key else O_put (key, value)
+          | Prism_workload.Ycsb.Read key ->
+              if Rng.int spice 16 = 0 then O_scan (key, 8) else O_get key
+          | Prism_workload.Ycsb.Insert (key, value) -> O_put (key, value)
+          | Prism_workload.Ycsb.Scan (key, n) -> O_scan (key, n)))
+
+let scenario cfg =
+  {
+    Setup.default_scenario with
+    Setup.records = cfg.records;
+    value_size = cfg.value_size;
+    threads = cfg.threads;
+    num_ssds = 2;
+    theta = cfg.theta;
+    seed = cfg.seed;
+  }
+
+let tweak cfg c =
+  (* A checker-sized PWB: small enough that reclamation migrates values to
+     Value Storage during the run, so reads exercise the full
+     PWB -> VS -> SVC path (with the scenario-sized 64 KiB PWBs the whole
+     dataset stays in the write buffer and the cache never fills). *)
+  let c = { c with Prism_core.Config.pwb_size = 16 * 1024 } in
+  match cfg.fault with
+  | No_fault -> c
+  | Skip_svc_invalidate ->
+      { c with Prism_core.Config.fault_skip_svc_invalidate = true }
+  | Skip_hsit_flush -> { c with Prism_core.Config.fault_skip_hsit_flush = true }
+
+(* KVell through a synchronous adapter: [Kv.of_kvell] pipelines puts like
+   KVell's injector threads, which acknowledges before durability — fine
+   for throughput runs, wrong for a checker that treats the return as the
+   response endpoint. *)
+let kvell_sync engine s =
+  let open Prism_device in
+  let d = s.Setup.records * s.Setup.value_size in
+  let kvell =
+    Prism_baselines.Kvell.create engine ~cost:Cost.default
+      ~rng:(Rng.create s.Setup.seed)
+      ~ssd_specs:(List.init s.Setup.num_ssds (fun _ -> Spec.samsung_980_pro))
+      ~workers_per_ssd:3 ~queue_depth:64
+      ~page_cache_bytes:(max (256 * 1024) (d * 32 / 100))
+  in
+  let kv = Kv.of_kvell kvell in
+  ( kvell,
+    {
+      kv with
+      Kv.name = "KVell(sync)";
+      put = (fun ~tid:_ key value -> Prism_baselines.Kvell.put kvell key value);
+    } )
+
+let make_kv cfg engine =
+  match cfg.store with
+  | `Prism ->
+      let kv, _store = Setup.prism ~tweak:(tweak cfg) engine (scenario cfg) in
+      kv
+  | `Kvell ->
+      let _kvell, kv = kvell_sync engine (scenario cfg) in
+      kv
+
+let run_op kv ~tid = function
+  | O_put (key, value) -> kv.Kv.put ~tid key value
+  | O_get key -> ignore (kv.Kv.get ~tid key)
+  | O_delete key -> ignore (kv.Kv.delete ~tid key)
+  | O_scan (key, n) -> ignore (kv.Kv.scan ~tid key n)
+
+let run_schedule cfg ~index ~tie_seed =
+  let engine = Engine.create () in
+  Engine.set_tie_break engine (Engine.Seeded tie_seed);
+  let hist = History.create () in
+  let ops = gen_ops cfg in
+  let kv = make_kv cfg engine in
+  let kv = History.wrap hist kv in
+  History.set_enabled hist false;
+  Engine.spawn engine (fun () ->
+      for i = 0 to cfg.records - 1 do
+        let key = Prism_workload.Ycsb.key_of i in
+        kv.Kv.put ~tid:0 key (preload_value cfg key)
+      done;
+      kv.Kv.quiesce ();
+      History.set_enabled hist true;
+      Array.iteri
+        (fun tid thread_ops ->
+          Engine.spawn engine (fun () ->
+              Array.iter (run_op kv ~tid) thread_ops))
+        ops);
+  let clock = Engine.run engine in
+  let events = History.events hist in
+  let choices = Engine.recorded_choices engine in
+  let stats =
+    {
+      index;
+      tie_seed;
+      events = Array.length events;
+      clock;
+      choices = Array.length choices;
+      fingerprint =
+        Hashtbl.hash
+          (Array.to_list choices, Engine.events_executed engine, clock);
+    }
+  in
+  let preloaded = Hashtbl.create cfg.records in
+  for i = 0 to cfg.records - 1 do
+    Hashtbl.replace preloaded (Prism_workload.Ycsb.key_of i) ()
+  done;
+  (* Preloaded keys start at version 0 of their deterministic payload;
+     everything else starts absent. *)
+  let init key =
+    if Hashtbl.mem preloaded key then Some (preload_value cfg key) else None
+  in
+  match Linearize.check ~init events with
+  | Ok () -> (stats, None)
+  | Error v ->
+      (stats, Some (Format.asprintf "%a" Linearize.pp_violation v))
+
+let run ?(progress = fun _ -> ()) ~schedules cfg =
+  let stats = ref [] in
+  let failures = ref [] in
+  let fingerprints = Hashtbl.create (2 * schedules) in
+  for i = 0 to schedules - 1 do
+    let tie_seed = tie_seed_for cfg.seed i in
+    let s, fail = run_schedule cfg ~index:i ~tie_seed in
+    stats := s :: !stats;
+    Hashtbl.replace fingerprints s.fingerprint ();
+    (match fail with
+    | Some violation -> failures := { stats = s; violation } :: !failures
+    | None -> ());
+    progress s
+  done;
+  {
+    schedules = List.rev !stats;
+    distinct = Hashtbl.length fingerprints;
+    failures = List.rev !failures;
+  }
+
+let replay cfg ~tie_seed =
+  let stats, fail = run_schedule cfg ~index:0 ~tie_seed in
+  ignore stats;
+  fail

@@ -1,0 +1,70 @@
+(** Seeded schedule exploration with linearizability checking.
+
+    One run = one tie-break seed handed to {!Prism_sim.Engine.set_tie_break}:
+    the engine resolves every same-instant event tie with a SplitMix64
+    stream, so each seed names exactly one interleaving of the same
+    per-thread operation lists. A failing schedule is reported with its
+    tie seed; {!replay} (or the CLI's [--replay]) re-runs that one
+    interleaving deterministically. *)
+
+type fault =
+  | No_fault
+  | Skip_svc_invalidate
+      (** puts/deletes skip the SVC invalidation — stale reads; the
+          linearizability check must flag it *)
+  | Skip_hsit_flush
+      (** HSIT skips pointer persists — harmless live, fatal across a
+          crash; see {!Crash_sweep} *)
+
+type config = {
+  store : [ `Prism | `Kvell ];
+  threads : int;
+  records : int;  (** preloaded keys (small, to force contention) *)
+  value_size : int;
+  ops_per_thread : int;
+  theta : float;  (** Zipfian skew of the YCSB-A slice *)
+  fault : fault;
+  seed : int64;  (** master seed: workload + all per-schedule tie seeds *)
+}
+
+val default : config
+
+type schedule_stats = {
+  index : int;
+  tie_seed : int64;
+  events : int;  (** completed history events *)
+  clock : float;  (** final virtual time *)
+  choices : int;  (** tie-break decisions taken *)
+  fingerprint : int;  (** hash of (choices, events executed, clock) *)
+}
+
+type failure = { stats : schedule_stats; violation : string }
+
+type report = {
+  schedules : schedule_stats list;
+  distinct : int;  (** number of distinct schedule fingerprints *)
+  failures : failure list;
+}
+
+(** [tie_seed_for seed i] is the tie seed schedule [i] runs under. *)
+val tie_seed_for : int64 -> int -> int64
+
+(** [run ~schedules cfg] explores [schedules] seeded interleavings of the
+    same workload and checks each history for linearizability (plus the
+    scan sanity conditions). [progress] is called after each schedule. *)
+val run :
+  ?progress:(schedule_stats -> unit) -> schedules:int -> config -> report
+
+(** [replay cfg ~tie_seed] re-runs a single schedule and returns the
+    violation text, if any — for reproducing a reported failure. *)
+val replay : config -> tie_seed:int64 -> string option
+
+(** [kvell_sync engine s] builds a KVell instance plus a {!Prism_harness.Kv.t}
+    whose [put] is synchronous (returns only once durable), unlike
+    {!Prism_harness.Kv.of_kvell}'s injector-style pipelined puts — a
+    checker must not treat an unacknowledged write's return as its
+    response endpoint. Shared with {!Crash_sweep}. *)
+val kvell_sync :
+  Prism_sim.Engine.t ->
+  Prism_harness.Setup.scenario ->
+  Prism_baselines.Kvell.t * Prism_harness.Kv.t

@@ -1,0 +1,114 @@
+type call =
+  | Put of string * bytes
+  | Get of string
+  | Delete of string
+  | Scan of string * int
+
+type outcome =
+  | Ok_unit
+  | Got of bytes option
+  | Existed of bool
+  | Items of (string * bytes) list
+
+type event = {
+  op : int;
+  tid : int;
+  call : call;
+  outcome : outcome;
+  inv : int;
+  resp : int;
+}
+
+type t = {
+  mutable events_rev : event list;
+  mutable stamp : int;
+  mutable count : int;
+  mutable enabled : bool;
+}
+
+let create () = { events_rev = []; stamp = 0; count = 0; enabled = true }
+
+let set_enabled t on = t.enabled <- on
+
+let tick t =
+  let s = t.stamp in
+  t.stamp <- s + 1;
+  s
+
+let record t ~tid call run =
+  if not t.enabled then run ()
+  else begin
+    let op = t.count in
+    t.count <- op + 1;
+    let inv = tick t in
+    let outcome = run () in
+    let resp = tick t in
+    t.events_rev <- { op; tid; call; outcome; inv; resp } :: t.events_rev;
+    outcome
+  end
+
+let unwrap_unit = function
+  | Ok_unit -> ()
+  | Got _ | Existed _ | Items _ -> assert false
+
+let unwrap_got = function
+  | Got v -> v
+  | Ok_unit | Existed _ | Items _ -> assert false
+
+let unwrap_existed = function
+  | Existed e -> e
+  | Ok_unit | Got _ | Items _ -> assert false
+
+let unwrap_items = function
+  | Items l -> l
+  | Ok_unit | Got _ | Existed _ -> assert false
+
+let wrap t (kv : Prism_harness.Kv.t) =
+  {
+    kv with
+    Prism_harness.Kv.put =
+      (fun ~tid key value ->
+        unwrap_unit
+          (record t ~tid (Put (key, value)) (fun () ->
+               kv.Prism_harness.Kv.put ~tid key value;
+               Ok_unit)));
+    get =
+      (fun ~tid key ->
+        unwrap_got
+          (record t ~tid (Get key) (fun () ->
+               Got (kv.Prism_harness.Kv.get ~tid key))));
+    delete =
+      (fun ~tid key ->
+        unwrap_existed
+          (record t ~tid (Delete key) (fun () ->
+               Existed (kv.Prism_harness.Kv.delete ~tid key))));
+    scan =
+      (fun ~tid key count ->
+        unwrap_items
+          (record t ~tid (Scan (key, count)) (fun () ->
+               Items (kv.Prism_harness.Kv.scan ~tid key count))));
+  }
+
+let events t =
+  let a = Array.of_list (List.rev t.events_rev) in
+  Array.sort (fun a b -> compare a.inv b.inv) a;
+  a
+
+let length t = t.count
+
+let pp_call fmt = function
+  | Put (k, v) -> Format.fprintf fmt "put %s (%d B)" k (Bytes.length v)
+  | Get k -> Format.fprintf fmt "get %s" k
+  | Delete k -> Format.fprintf fmt "delete %s" k
+  | Scan (k, n) -> Format.fprintf fmt "scan %s +%d" k n
+
+let pp_outcome fmt = function
+  | Ok_unit -> Format.fprintf fmt "ok"
+  | Got None -> Format.fprintf fmt "-> None"
+  | Got (Some v) -> Format.fprintf fmt "-> Some (%d B)" (Bytes.length v)
+  | Existed e -> Format.fprintf fmt "-> existed:%b" e
+  | Items l -> Format.fprintf fmt "-> %d items" (List.length l)
+
+let pp_event fmt e =
+  Format.fprintf fmt "[%d] tid%d %a %a (inv %d, resp %d)" e.op e.tid pp_call
+    e.call pp_outcome e.outcome e.inv e.resp

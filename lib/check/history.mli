@@ -1,0 +1,55 @@
+(** Concurrent-history recording over a {!Prism_harness.Kv.t}.
+
+    Each KV operation is logged as an invocation/response interval. The
+    simulator is cooperative and single-threaded under the hood, so a
+    global logical stamp — incremented at every invocation and response —
+    totally orders all interval endpoints. Operation A precedes operation
+    B ([A <_H B] in Herlihy–Wing terms) exactly when [A.resp < B.inv];
+    intervals that overlap in stamps were genuinely concurrent in the
+    simulation, because a stamp gap means the engine interleaved other
+    steps between them. *)
+
+type call =
+  | Put of string * bytes
+  | Get of string
+  | Delete of string
+  | Scan of string * int
+
+type outcome =
+  | Ok_unit
+  | Got of bytes option
+  | Existed of bool
+  | Items of (string * bytes) list
+
+type event = {
+  op : int;  (** dense index in invocation order *)
+  tid : int;
+  call : call;
+  outcome : outcome;
+  inv : int;  (** logical stamp at invocation *)
+  resp : int;  (** logical stamp at response *)
+}
+
+type t
+
+val create : unit -> t
+
+(** [set_enabled t false] makes {!wrap}ped stores pass operations through
+    unrecorded — used to keep the preload phase out of the history. *)
+val set_enabled : t -> bool -> unit
+
+(** [wrap t kv] is [kv] with every put/get/delete/scan logged into [t].
+    [quiesce]/recovery passthroughs are unchanged. *)
+val wrap : t -> Prism_harness.Kv.t -> Prism_harness.Kv.t
+
+(** Completed events sorted by invocation stamp. Operations that never
+    returned (e.g. cut off by a crash) are absent — they never completed,
+    so they carry no obligation in the history. *)
+val events : t -> event array
+
+(** Number of recorded invocations (including any still in flight). *)
+val length : t -> int
+
+val pp_call : Format.formatter -> call -> unit
+
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,209 @@
+type violation = {
+  key : string;
+  reason : string;
+  ops : History.event list;
+}
+
+(* Per-key projection of the history. Linearizability is local (Herlihy &
+   Wing): a map history is linearizable iff each key's subhistory is
+   linearizable as a single register with put/get/delete semantics, so we
+   check one key at a time and the search never sees the cross product of
+   unrelated keys' interleavings. *)
+
+type sem =
+  | W of bytes (* put *)
+  | R of bytes option (* get outcome *)
+  | D of bool (* delete outcome: did the key exist *)
+
+type op = { ev : History.event; sem : sem }
+
+(* Register state between linearized ops, kept symbolic so memo entries
+   compare in O(1): the value is named by the index of the put that wrote
+   it, not by its bytes. [V_init] is distinct from [V_absent] because the
+   key may have been preloaded before recording started. *)
+type state = V_init | V_absent | V_put of int
+
+let project events =
+  let by_key = Hashtbl.create 64 in
+  let add key op =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt by_key key) in
+    Hashtbl.replace by_key key (op :: cur)
+  in
+  Array.iter
+    (fun ev ->
+      match (ev.History.call, ev.History.outcome) with
+      | History.Put (key, v), History.Ok_unit -> add key { ev; sem = W v }
+      | History.Get key, History.Got v -> add key { ev; sem = R v }
+      | History.Delete key, History.Existed e -> add key { ev; sem = D e }
+      | History.Scan _, _ -> ()
+      | _ -> invalid_arg "Linearize: mismatched call/outcome")
+    events;
+  Hashtbl.fold
+    (fun key ops acc ->
+      let a = Array.of_list (List.rev ops) in
+      Array.sort (fun a b -> compare a.ev.History.inv b.ev.History.inv) a;
+      (key, a) :: acc)
+    by_key []
+
+(* [step init_present state op] is [Some state'] when [op]'s recorded
+   outcome is legal from [state], where [init_present] tells whether the
+   key held [init_value] before the history began. *)
+let step ~init_value state op =
+  match (op.sem, state) with
+  | W _, _ -> Some (V_put op.ev.History.op)
+  | R None, (V_absent | V_init) ->
+      if state = V_init && init_value <> None then None else Some state
+  | R (Some v), V_init -> (
+      match init_value with
+      | Some v0 when Bytes.equal v v0 -> Some state
+      | Some _ | None -> None)
+  | R (Some _), V_absent -> None
+  | R None, V_put _ -> None
+  | R (Some _), V_put _ -> None (* resolved by caller with put lookup *)
+  | D e, (V_absent | V_init) ->
+      let present = state = V_init && init_value <> None in
+      if e = present then Some V_absent else None
+  | D e, V_put _ -> if e then Some V_absent else None
+
+let check_key ~init key ops =
+  let n = Array.length ops in
+  let init_value = init key in
+  let value_of = Hashtbl.create 16 in
+  Array.iter
+    (fun op ->
+      match op.sem with
+      | W v -> Hashtbl.replace value_of op.ev.History.op v
+      | R _ | D _ -> ())
+    ops;
+  let step state op =
+    match (op.sem, state) with
+    | R (Some v), V_put i ->
+        if Bytes.equal v (Hashtbl.find value_of i) then Some state else None
+    | _ -> step ~init_value state op
+  in
+  let linearized = Array.make n false in
+  let memo = Hashtbl.create 1024 in
+  let encode state =
+    let b = Buffer.create (n + 8) in
+    Array.iter (fun l -> Buffer.add_char b (if l then '1' else '0')) linearized;
+    (match state with
+    | V_init -> Buffer.add_string b "i"
+    | V_absent -> Buffer.add_string b "a"
+    | V_put i -> Buffer.add_string b (string_of_int i));
+    Buffer.contents b
+  in
+  let rec search remaining state =
+    if remaining = 0 then true
+    else
+      let key = encode state in
+      if Hashtbl.mem memo key then false
+      else begin
+        (* An op can linearize next only if its invocation precedes every
+           unlinearized response — otherwise some unlinearized op finished
+           wholly before it and must come first. *)
+        let min_resp = ref max_int in
+        for i = 0 to n - 1 do
+          if not linearized.(i) then
+            min_resp := min !min_resp ops.(i).ev.History.resp
+        done;
+        let found = ref false in
+        let i = ref 0 in
+        while (not !found) && !i < n do
+          let j = !i in
+          incr i;
+          if (not linearized.(j)) && ops.(j).ev.History.inv < !min_resp then begin
+            match step state ops.(j) with
+            | Some state' ->
+                linearized.(j) <- true;
+                if search (remaining - 1) state' then found := true
+                else linearized.(j) <- false
+            | None -> ()
+          end
+        done;
+        if not !found then Hashtbl.add memo key ();
+        !found
+      end
+  in
+  if search n V_init then Ok ()
+  else
+    Error
+      {
+        key;
+        reason =
+          Printf.sprintf
+            "no linearization of %d ops on %S is consistent with a \
+             sequential map (initial value: %s)"
+            n key
+            (match init_value with
+            | None -> "absent"
+            | Some v -> Printf.sprintf "%d bytes" (Bytes.length v));
+        ops = Array.to_list (Array.map (fun o -> o.ev) ops);
+      }
+
+let check_scans ~init events =
+  (* Weaker, compositional obligation for scans (a full linearizability
+     check would couple every key): the returned keys must be sorted
+     strictly ascending from the start key, at most [count] long, and
+     every returned value must have actually been written — by a put that
+     was invoked before the scan responded, or by the preload. *)
+  let err ev reason = Error { key = ""; reason; ops = [ ev ] } in
+  let check_one ev from count items =
+    let rec go prev = function
+      | [] -> Ok ()
+      | (k, v) :: rest ->
+          if k < from then err ev (Printf.sprintf "scan returned %S < start %S" k from)
+          else if (match prev with Some p -> k <= p | None -> false) then
+            err ev (Printf.sprintf "scan keys not strictly ascending at %S" k)
+          else begin
+            let written =
+              Array.exists
+                (fun e ->
+                  match e.History.call with
+                  | History.Put (k', v') ->
+                      String.equal k' k
+                      && Bytes.equal v' v
+                      && e.History.inv < ev.History.resp
+                  | _ -> false)
+                events
+              ||
+              match init k with
+              | Some v0 -> Bytes.equal v0 v
+              | None -> false
+            in
+            if not written then
+              err ev
+                (Printf.sprintf "scan returned a value for %S nobody wrote" k)
+            else go (Some k) rest
+          end
+    in
+    if List.length items > count then
+      err ev
+        (Printf.sprintf "scan returned %d items, asked for %d"
+           (List.length items) count)
+    else go None items
+  in
+  Array.fold_left
+    (fun acc ev ->
+      match acc with
+      | Error _ -> acc
+      | Ok () -> (
+          match (ev.History.call, ev.History.outcome) with
+          | History.Scan (from, count), History.Items items ->
+              check_one ev from count items
+          | _ -> Ok ()))
+    (Ok ()) events
+
+let check ?(init = fun _ -> None) events =
+  let rec keys = function
+    | [] -> check_scans ~init events
+    | (key, ops) :: rest -> (
+        match check_key ~init key ops with
+        | Ok () -> keys rest
+        | Error v -> Error v)
+  in
+  keys (project events)
+
+let pp_violation fmt v =
+  Format.fprintf fmt "@[<v>%s@,%a@]" v.reason
+    (Format.pp_print_list History.pp_event)
+    v.ops

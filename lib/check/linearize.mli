@@ -1,0 +1,34 @@
+(** Linearizability checking for put/get/delete histories against a
+    sequential map, in the style of Wing & Gong's algorithm.
+
+    Linearizability is local, so the checker splits the history into
+    per-key register subhistories and searches each one independently: at
+    every step any operation whose invocation precedes all unlinearized
+    responses may linearize next, provided its recorded outcome is legal
+    in the current register state. Failed (linearized-set, state)
+    configurations are memoized, which keeps the search polynomial for
+    the low-concurrency histories the simulator produces. Register state
+    is symbolic — a value is named by the put that wrote it — so memo
+    keys stay tiny.
+
+    Scans span keys and get the weaker, compositional obligation of
+    {b monotonic prefixes}: results sorted strictly ascending from the
+    start key, bounded by the requested count, and containing only values
+    that some put (or the preload) actually wrote before the scan
+    responded. *)
+
+type violation = {
+  key : string;  (** offending key; [""] for scan violations *)
+  reason : string;
+  ops : History.event list;  (** the subhistory to include in a report *)
+}
+
+(** [check ?init events] verifies the history. [init] gives the value each
+    key held before recording started (preload); defaults to every key
+    absent. *)
+val check :
+  ?init:(string -> bytes option) ->
+  History.event array ->
+  (unit, violation) result
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -21,6 +21,8 @@ type t = {
   scan_reorganize : bool;
   async_reclaim : bool;
   seed : int64;
+  fault_skip_hsit_flush : bool;
+  fault_skip_svc_invalidate : bool;
 }
 
 let kib = 1024
@@ -51,6 +53,8 @@ let default =
     scan_reorganize = true;
     async_reclaim = true;
     seed = 0x5eedL;
+    fault_skip_hsit_flush = false;
+    fault_skip_svc_invalidate = false;
   }
 
 let scaled ~threads ~keys ~value_size t =

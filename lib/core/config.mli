@@ -29,6 +29,17 @@ type t = {
   async_reclaim : bool;
       (** false makes PWB reclamation block the application thread *)
   seed : int64;
+  (* Deliberate-bug switches for the checking subsystem ({!Prism_check}).
+     Never enable outside tests: each one breaks a documented invariant so
+     the checker can demonstrate it catches the resulting misbehaviour. *)
+  fault_skip_hsit_flush : bool;
+      (** true: HSIT skips the §5.4 pointer-persist protocol (install and
+          clear the dirty bit without ever flushing the line), so a crash
+          can lose acknowledged writes — caught by the crash-point sweep *)
+  fault_skip_svc_invalidate : bool;
+      (** true: [put]/[delete] skip the SVC invalidation, so later reads can
+          return stale cached values — caught by the linearizability
+          checker *)
 }
 
 (** A small-footprint default suitable for tests: 4 threads, 1 MiB PWBs,

@@ -8,16 +8,17 @@ type t = {
   capacity : int;
   mutable free_list : int list;
   mutable live : int;
+  fault_skip_flush : bool;
 }
 
-let create nvm ~capacity =
+let create ?(fault_skip_flush = false) nvm ~capacity =
   if capacity <= 0 then invalid_arg "Hsit.create: capacity <= 0";
   let base = Nvm.allocated nvm in
   Nvm.note_alloc nvm (capacity * entry_size);
   if Nvm.allocated nvm > Nvm.size nvm then
     invalid_arg "Hsit.create: NVM region too small";
   let free_list = List.init capacity (fun i -> i) in
-  { nvm; base; capacity; free_list; live = 0 }
+  { nvm; base; capacity; free_list; live = 0; fault_skip_flush }
 
 let capacity t = t.capacity
 
@@ -64,7 +65,8 @@ let read_primary t id =
   if dirty then begin
     (* Flush-on-read: persist on behalf of the writer, then clear the
        dirty bit with a CAS (§5.4). *)
-    Nvm.persist t.nvm ~off:(primary_off t id) ~len:8;
+    if not t.fault_skip_flush then
+      Nvm.persist t.nvm ~off:(primary_off t id) ~len:8;
     clear_dirty_if t id w
   end;
   loc
@@ -73,7 +75,8 @@ let read_primary t id =
    an atomic RMW, persist the line, then CAS the dirty bit off. Recovery
    treats a surviving dirty bit as "pointer persisted". *)
 let finish_write t id dirty_word =
-  Nvm.persist t.nvm ~off:(primary_off t id) ~len:8;
+  if not t.fault_skip_flush then
+    Nvm.persist t.nvm ~off:(primary_off t id) ~len:8;
   clear_dirty_if t id dirty_word
 
 let update_primary t id ~expect loc =

@@ -17,8 +17,14 @@
 
 type t
 
-(** [create nvm ~capacity] carves [capacity] entries out of [nvm]. *)
-val create : Prism_media.Nvm.t -> capacity:int -> t
+(** [create nvm ~capacity] carves [capacity] entries out of [nvm].
+
+    [fault_skip_flush] (default [false]) is a deliberate bug for the
+    checking subsystem: pointer installs and flush-on-read skip the persist
+    while still clearing the dirty bit, so the §5.4 protocol silently loses
+    its durability guarantee. The crash-point sweep must catch the
+    resulting lost acknowledged writes. Never enable outside tests. *)
+val create : ?fault_skip_flush:bool -> Prism_media.Nvm.t -> capacity:int -> t
 
 val capacity : t -> int
 

@@ -161,7 +161,10 @@ let create engine cfg =
     Nvm.create engine ~cost:cfg.Config.cost ~spec:cfg.Config.nvm_spec
       ~size:cfg.Config.nvm_size ()
   in
-  let hsit = Hsit.create nvm ~capacity:cfg.Config.hsit_capacity in
+  let hsit =
+    Hsit.create ~fault_skip_flush:cfg.Config.fault_skip_hsit_flush nvm
+      ~capacity:cfg.Config.hsit_capacity
+  in
   let epoch =
     Epoch.create
       ~threads:(cfg.Config.threads + cfg.Config.num_value_storages + 2)
@@ -344,8 +347,9 @@ let put t ~tid key value =
             (Location.In_pwb { thread = tid; voff });
           invalidate_old t old;
           (match t.svc with
-          | Some svc -> Svc.invalidate svc ~hsit_id:id
-          | None -> ());
+          | Some svc when not t.cfg.Config.fault_skip_svc_invalidate ->
+              Svc.invalidate svc ~hsit_id:id
+          | Some _ | None -> ());
           Reclaimer.maybe_trigger t.reclaimers.(tid)
       | None ->
           let id = Hsit.alloc t.hsit in
@@ -380,8 +384,9 @@ let delete t ~tid key =
           if not removed then false
           else begin
             (match t.svc with
-            | Some svc -> Svc.invalidate svc ~hsit_id:id
-            | None -> ());
+            | Some svc when not t.cfg.Config.fault_skip_svc_invalidate ->
+                Svc.invalidate svc ~hsit_id:id
+            | Some _ | None -> ());
             let old = Hsit.read_primary t.hsit id in
             Hsit.write_primary t.hsit id Location.Nowhere;
             invalidate_old t old;

@@ -81,6 +81,8 @@ let is_idle t = Io_uring.is_idle t.uring
 
 let device t = t.device
 
+let image t = t.image
+
 let gc_runs t = Metric.Counter.value t.gc_runs
 
 let chunk_gen t ~chunk = t.chunks.(chunk).gen

@@ -51,6 +51,10 @@ val is_idle : t -> bool
 (** Device-level statistics for write-amplification accounting. *)
 val device : t -> Prism_device.Model.t
 
+(** Backing content image — exposed so the checker can install a
+    write-completion hook ({!Prism_media.Ssd_image.set_write_hook}). *)
+val image : t -> Prism_media.Ssd_image.t
+
 (** Number of garbage-collection passes completed. *)
 val gc_runs : t -> int
 

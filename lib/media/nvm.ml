@@ -10,6 +10,8 @@ type t = {
   device : Model.t;
   cost : Cost.t;
   mutable allocated : int;
+  mutable persists : int;
+  mutable on_persist : (int -> unit) option;
 }
 
 let create engine ?(cost = Cost.default) ~spec ~size () =
@@ -21,6 +23,8 @@ let create engine ?(cost = Cost.default) ~spec ~size () =
     device = Model.create engine spec;
     cost;
     allocated = 0;
+    persists = 0;
+    on_persist = None;
   }
 
 let size t = Bytes.length t.volatile
@@ -68,7 +72,9 @@ let persist t ~off ~len =
   check t ~off ~len;
   let lines = if len = 0 then 0 else ((off + len - 1) / line_size) - (off / line_size) + 1 in
   Engine.delay ((float_of_int lines *. t.cost.Cost.flush_line) +. t.cost.Cost.fence);
-  flush_range t ~off ~len
+  flush_range t ~off ~len;
+  t.persists <- t.persists + 1;
+  match t.on_persist with Some f -> f t.persists | None -> ()
 
 let write_persist t ~off src =
   write t ~off src;
@@ -118,5 +124,9 @@ let restore t ~off src =
     done
 
 let dirty_lines t = Hashtbl.length t.dirty
+
+let persist_count t = t.persists
+
+let set_persist_hook t f = t.on_persist <- f
 
 let device t = t.device

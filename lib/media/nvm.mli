@@ -84,5 +84,16 @@ val restore : t -> off:int -> bytes -> unit
 (** Number of currently dirty (written, unpersisted) cache lines. *)
 val dirty_lines : t -> int
 
+(** Number of {!persist} operations completed so far — each one is a
+    durability boundary a crash can be injected after. *)
+val persist_count : t -> int
+
+(** [set_persist_hook t (Some f)] calls [f count] immediately after every
+    {!persist} makes its range durable. The checker's crash-point sweep
+    uses the hook to cut power at a chosen boundary (the hook may raise;
+    the exception propagates out of {!Prism_sim.Engine.run}). [None]
+    uninstalls. *)
+val set_persist_hook : t -> (int -> unit) option -> unit
+
 (** Underlying timing model, for endurance/bandwidth statistics. *)
 val device : t -> Prism_device.Model.t

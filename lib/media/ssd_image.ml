@@ -1,8 +1,12 @@
-type t = { data : Bytes.t }
+type t = {
+  data : Bytes.t;
+  mutable writes : int;
+  mutable on_write : (int -> unit) option;
+}
 
 let create ~size =
   if size <= 0 then invalid_arg "Ssd_image.create: size <= 0";
-  { data = Bytes.make size '\000' }
+  { data = Bytes.make size '\000'; writes = 0; on_write = None }
 
 let size t = Bytes.length t.data
 
@@ -18,8 +22,14 @@ let read t ~off ~len =
 
 let write t ~off src =
   check t ~off ~len:(Bytes.length src);
-  Bytes.blit src 0 t.data off (Bytes.length src)
+  Bytes.blit src 0 t.data off (Bytes.length src);
+  t.writes <- t.writes + 1;
+  match t.on_write with Some f -> f t.writes | None -> ()
 
 let blit_to t ~off dst ~dst_off ~len =
   check t ~off ~len;
   Bytes.blit t.data off dst dst_off len
+
+let write_count t = t.writes
+
+let set_write_hook t f = t.on_write <- f

@@ -21,3 +21,12 @@ val write : t -> off:int -> bytes -> unit
 
 (** [blit_to t ~off dst ~dst_off ~len] copies without allocating. *)
 val blit_to : t -> off:int -> bytes -> dst_off:int -> len:int -> unit
+
+(** Number of applied writes so far — each is an SSD write-completion
+    durability boundary a crash can be injected after. *)
+val write_count : t -> int
+
+(** [set_write_hook t (Some f)] calls [f count] immediately after every
+    {!write} lands. Used by the checker's crash-point sweep (the hook may
+    raise to abort the simulation at that instant). [None] uninstalls. *)
+val set_write_hook : t -> (int -> unit) option -> unit

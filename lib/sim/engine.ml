@@ -1,9 +1,26 @@
+type tie_break =
+  | Fifo
+  | Seeded of int64
+  | Replay of int array
+
+(* Resolved form of the policy: [Seeded] carries its RNG stream, [Replay]
+   its cursor. *)
+type policy =
+  | P_fifo
+  | P_seeded of Rng.t
+  | P_replay of { choices : int array; mutable pos : int }
+
 type t = {
   mutable now : float;
   mutable seq : int;
   mutable stopped : bool;
   mutable executed : int;
   events : (unit -> unit) Heap.t;
+  mutable policy : policy;
+  mutable choices_rev : int list;
+      (* tie-break decisions, newest first; recorded only under a
+         non-FIFO policy so the hot path stays allocation-free *)
+  mutable n_choices : int;
 }
 
 type _ Effect.t +=
@@ -16,7 +33,23 @@ type _ Effect.t +=
 let current : t option ref = ref None
 
 let create () =
-  { now = 0.0; seq = 0; stopped = false; executed = 0; events = Heap.create () }
+  {
+    now = 0.0;
+    seq = 0;
+    stopped = false;
+    executed = 0;
+    events = Heap.create ();
+    policy = P_fifo;
+    choices_rev = [];
+    n_choices = 0;
+  }
+
+let set_tie_break t = function
+  | Fifo -> t.policy <- P_fifo
+  | Seeded seed -> t.policy <- P_seeded (Rng.create seed)
+  | Replay choices -> t.policy <- P_replay { choices; pos = 0 }
+
+let recorded_choices t = Array.of_list (List.rev t.choices_rev)
 
 let now t = t.now
 
@@ -61,6 +94,58 @@ let spawn t ?at f =
   let at = match at with None -> t.now | Some at -> at in
   enqueue t ~at (fun () -> Effect.Deep.match_with f () (handler t))
 
+(* Pop the next event under the active tie-break policy. FIFO is the
+   plain heap pop. Otherwise the whole tie set (all events at the minimum
+   time, in seq order) is drawn, one member is chosen — uniformly from
+   the seeded stream, or by the recorded decision — and the rest are
+   pushed back with their original seq, preserving their relative order.
+   Decisions are recorded only for tie sets larger than one, so a replay
+   consumes them at exactly the positions the recording produced them. *)
+let pop_next t =
+  match t.policy with
+  | P_fifo -> Heap.pop_min t.events
+  | _ -> (
+      match Heap.pop_min t.events with
+      | None -> None
+      | Some ((time, _, _) as first) ->
+          let ties = ref [ first ] in
+          let n = ref 1 in
+          let rec collect () =
+            match Heap.peek_time t.events with
+            | Some tm when tm = time -> (
+                match Heap.pop_min t.events with
+                | Some e ->
+                    ties := e :: !ties;
+                    incr n;
+                    collect ()
+                | None -> ())
+            | Some _ | None -> ()
+          in
+          collect ();
+          if !n = 1 then Some first
+          else begin
+            let arr = Array.of_list (List.rev !ties) in
+            let choice =
+              match t.policy with
+              | P_fifo -> 0
+              | P_seeded rng -> Rng.int rng !n
+              | P_replay r ->
+                  let c =
+                    if r.pos < Array.length r.choices then r.choices.(r.pos)
+                    else 0
+                  in
+                  r.pos <- r.pos + 1;
+                  if c < 0 || c >= !n then 0 else c
+            in
+            t.choices_rev <- choice :: t.choices_rev;
+            t.n_choices <- t.n_choices + 1;
+            Array.iteri
+              (fun i (tm, seq, v) ->
+                if i <> choice then Heap.push t.events ~time:tm ~seq v)
+              arr;
+            Some arr.(choice)
+          end)
+
 let run ?(until = infinity) t =
   t.stopped <- false;
   let continue_running = ref true in
@@ -72,7 +157,7 @@ let run ?(until = infinity) t =
         t.now <- until;
         continue_running := false
     | Some _ ->
-        (match Heap.pop_min t.events with
+        (match pop_next t with
         | None -> assert false
         | Some (time, _, action) ->
             t.now <- time;
@@ -87,11 +172,7 @@ let run ?(until = infinity) t =
 
 let stop t = t.stopped <- true
 
-let clear_pending t =
-  let rec drop () =
-    match Heap.pop_min t.events with Some _ -> drop () | None -> ()
-  in
-  drop ()
+let clear_pending t = Heap.clear t.events
 
 let current_engine () =
   match !current with

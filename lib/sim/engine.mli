@@ -8,10 +8,39 @@
     through the code.
 
     Determinism: events scheduled for the same instant fire in scheduling
-    order, and all randomness comes from explicit {!Rng.t} streams, so a
-    simulation's outcome is a pure function of its inputs. *)
+    order by default, and all randomness comes from explicit {!Rng.t}
+    streams, so a simulation's outcome is a pure function of its inputs.
+    The same-instant order is pluggable (see {!set_tie_break}): a seeded
+    policy explores alternative interleavings while staying a pure
+    function of its seed, which is what [prism_check] uses for schedule
+    exploration. *)
 
 type t
+
+(** Policy for ordering events that fire at the same virtual instant.
+
+    - [Fifo] (the default): scheduling order, the historical behaviour.
+    - [Seeded seed]: a uniformly random member of each tie set, drawn
+      from a SplitMix64 stream — every seed names one reproducible
+      schedule.
+    - [Replay choices]: re-apply decisions recorded by a previous run
+      (see {!recorded_choices}); out-of-range or exhausted entries fall
+      back to FIFO, so a replay against a diverged simulation degrades
+      rather than crashes. *)
+type tie_break =
+  | Fifo
+  | Seeded of int64
+  | Replay of int array
+
+(** [set_tie_break t p] installs the tie-break policy. Decisions made
+    under a non-FIFO policy are recorded and can be fetched with
+    {!recorded_choices}. *)
+val set_tie_break : t -> tie_break -> unit
+
+(** Tie-break decisions made so far (one entry per tie set of size >= 2),
+    in the order they were taken — feed to [Replay] to reproduce the
+    schedule without the seed. *)
+val recorded_choices : t -> int array
 
 (** [create ()] makes an empty simulation at time [0.0]. *)
 val create : unit -> t

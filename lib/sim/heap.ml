@@ -65,3 +65,10 @@ let pop_min t =
   end
 
 let peek_time t = if t.size = 0 then None else Some t.data.(0).time
+
+let clear t =
+  (* O(1) reset; dropping the backing array also releases the entries'
+     closures to the GC, which matters when a crash discards a large
+     event backlog. *)
+  t.data <- [||];
+  t.size <- 0

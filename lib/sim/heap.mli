@@ -20,3 +20,6 @@ val pop_min : 'a t -> (float * int * 'a) option
 (** [peek_time t] is the key time of the minimum entry without removing
     it. *)
 val peek_time : 'a t -> float option
+
+(** [clear t] drops every entry in O(1), releasing the backing storage. *)
+val clear : 'a t -> unit

@@ -29,17 +29,37 @@ module Ivar = struct
     match t.state with
     | Full v -> Some v
     | Empty waiters ->
-        let fired = ref false in
+        (* [cell] holds the continuation only while the fill/timeout race
+           is undecided; whichever side fires first takes it, so the
+           loser's copy of [once] retains nothing and resumes nobody. *)
+        let cell = ref None in
+        let once () =
+          match !cell with
+          | None -> ()
+          | Some resume ->
+              cell := None;
+              resume ()
+        in
         Engine.suspend (fun resume ->
-            let once () =
-              if not !fired then begin
-                fired := true;
-                resume ()
-              end
-            in
+            cell := Some resume;
             Queue.add once waiters;
             Engine.schedule (Engine.current ()) ~after:d once);
+        (* The race is decided. If the timeout won, the ivar is still
+           empty and our dead waiter would sit in its queue forever —
+           drop it so long-lived ivars don't accumulate closures. (If the
+           fill won, the whole queue was discarded with the state switch,
+           and the timer event left in the heap is an empty no-op.) *)
+        (match t.state with
+        | Empty waiters ->
+            let keep = Queue.create () in
+            Queue.iter (fun w -> if w != once then Queue.add w keep) waiters;
+            Queue.clear waiters;
+            Queue.transfer keep waiters
+        | Full _ -> ());
         peek t
+
+  let waiters t =
+    match t.state with Full _ -> 0 | Empty q -> Queue.length q
 end
 
 module Mailbox = struct

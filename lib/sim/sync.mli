@@ -22,8 +22,14 @@ module Ivar : sig
   val read : 'a t -> 'a
 
   (** [read_with_timeout t d] blocks at most [d] virtual seconds; [None] on
-      timeout. *)
+      timeout. A timed-out read removes its waiter from the ivar's queue,
+      so long-lived ivars polled with timeouts don't accumulate dead
+      closures. *)
   val read_with_timeout : 'a t -> float -> 'a option
+
+  (** Number of blocked readers currently queued (0 once filled); exposed
+      for leak diagnostics and tests. *)
+  val waiters : 'a t -> int
 end
 
 (** Unbounded FIFO mailbox (any number of senders and receivers). *)

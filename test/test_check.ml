@@ -1,0 +1,373 @@
+(* Tests for the prism_check subsystem: schedule control, history
+   recording, the linearizability checker, and the crash-point sweep.
+   These are the fast tier-1 checks; the full sweeps live behind
+   bin/prism_check.exe. *)
+
+open Prism_sim
+open Prism_check
+open Helpers
+
+(* ---- engine schedule control ---- *)
+
+let test_heap_clear () =
+  let h = Heap.create () in
+  for i = 0 to 9 do
+    Heap.push h ~time:(float_of_int i) ~seq:i i
+  done;
+  Heap.clear h;
+  Alcotest.(check bool) "empty after clear" true (Heap.pop_min h = None);
+  Heap.push h ~time:1.0 ~seq:0 42;
+  (match Heap.pop_min h with
+  | Some (_, _, v) -> Alcotest.(check int) "usable after clear" 42 v
+  | None -> Alcotest.fail "push after clear lost")
+
+let test_clear_pending () =
+  let engine = Engine.create () in
+  let ran = ref 0 in
+  Engine.spawn engine (fun () ->
+      Engine.delay 1.0;
+      incr ran);
+  Engine.clear_pending engine;
+  ignore (Engine.run engine);
+  Alcotest.(check int) "cleared event never ran" 0 !ran
+
+(* A little simulation with plenty of same-instant ties: [n] processes
+   all delay by the same amounts and append to a trace. *)
+let tie_heavy_trace tie =
+  let engine = Engine.create () in
+  Engine.set_tie_break engine tie;
+  let trace = Buffer.create 64 in
+  for p = 0 to 4 do
+    Engine.spawn engine (fun () ->
+        for step = 0 to 3 do
+          Engine.delay 1.0;
+          Buffer.add_string trace (Printf.sprintf "%d.%d;" p step)
+        done)
+  done;
+  let clock = Engine.run engine in
+  (Buffer.contents trace, clock, Engine.recorded_choices engine)
+
+let test_fifo_default_unchanged () =
+  let t1, _, c1 = tie_heavy_trace Engine.Fifo in
+  let t2, _, _ = tie_heavy_trace Engine.Fifo in
+  Alcotest.(check string) "FIFO deterministic" t1 t2;
+  Alcotest.(check int) "FIFO records no choices" 0 (Array.length c1);
+  (* Scheduling order: process 0's step before process 1's, every round. *)
+  Alcotest.(check string) "FIFO is scheduling order"
+    "0.0;1.0;2.0;3.0;4.0;" (String.sub t1 0 20)
+
+let test_seeded_explores () =
+  let t1, _, _ = tie_heavy_trace (Engine.Seeded 1L) in
+  let t2, _, _ = tie_heavy_trace (Engine.Seeded 2L) in
+  let t1', _, _ = tie_heavy_trace (Engine.Seeded 1L) in
+  Alcotest.(check string) "same seed, same schedule" t1 t1';
+  Alcotest.(check bool) "different seeds diverge" true (t1 <> t2)
+
+let test_replay_reproduces () =
+  let t1, clock1, choices = tie_heavy_trace (Engine.Seeded 99L) in
+  Alcotest.(check bool) "ties were hit" true (Array.length choices > 0);
+  let t2, clock2, _ = tie_heavy_trace (Engine.Replay choices) in
+  Alcotest.(check string) "replay reproduces the schedule" t1 t2;
+  check_approx "replay clock" clock2 clock1
+
+let test_replay_exhausted_degrades () =
+  (* An empty recording must fall back to FIFO rather than crash. *)
+  let t_fifo, _, _ = tie_heavy_trace Engine.Fifo in
+  let t_replay, _, _ = tie_heavy_trace (Engine.Replay [||]) in
+  Alcotest.(check string) "exhausted replay = FIFO" t_fifo t_replay
+
+let test_ivar_timeout_no_leak () =
+  ignore
+    (in_sim (fun _engine ->
+         let ivar = Sync.Ivar.create () in
+         for _ = 1 to 50 do
+           match Sync.Ivar.read_with_timeout ivar 1e-6 with
+           | None -> ()
+           | Some _ -> Alcotest.fail "ivar was never filled"
+         done;
+         Alcotest.(check int) "no dead waiters accumulate" 0
+           (Sync.Ivar.waiters ivar)))
+
+(* ---- linearizability checker ---- *)
+
+let ev op tid call outcome inv resp =
+  { History.op; tid; call; outcome; inv; resp }
+
+let v1 = Bytes.of_string "v1-payload"
+
+let v2 = Bytes.of_string "v2-payload"
+
+let put k v = History.Put (k, v)
+
+let got v = History.Got v
+
+let check_ok ?init name events =
+  match Linearize.check ?init (Array.of_list events) with
+  | Ok () -> ()
+  | Error e ->
+      Alcotest.failf "%s: expected linearizable, got: %s" name e.Linearize.reason
+
+let check_bad ?init name events =
+  match Linearize.check ?init (Array.of_list events) with
+  | Ok () -> Alcotest.failf "%s: violation not detected" name
+  | Error _ -> ()
+
+let test_linearize_sequential () =
+  check_ok "seq"
+    [
+      ev 0 0 (put "k" v1) History.Ok_unit 0 1;
+      ev 1 0 (History.Get "k") (got (Some v1)) 2 3;
+      ev 2 0 (History.Delete "k") (History.Existed true) 4 5;
+      ev 3 0 (History.Get "k") (got None) 6 7;
+      ev 4 0 (History.Delete "k") (History.Existed false) 8 9;
+    ]
+
+let test_linearize_concurrent_ok () =
+  (* A get overlapping a put may see either value. *)
+  check_ok "old value"
+    [
+      ev 0 0 (put "k" v1) History.Ok_unit 0 1;
+      ev 1 0 (put "k" v2) History.Ok_unit 2 10;
+      ev 2 1 (History.Get "k") (got (Some v1)) 3 4;
+    ];
+  check_ok "new value"
+    [
+      ev 0 0 (put "k" v1) History.Ok_unit 0 1;
+      ev 1 0 (put "k" v2) History.Ok_unit 2 10;
+      ev 2 1 (History.Get "k") (got (Some v2)) 3 4;
+    ]
+
+let test_linearize_stale_read () =
+  (* v1 was overwritten strictly before the get began. *)
+  check_bad "stale"
+    [
+      ev 0 0 (put "k" v1) History.Ok_unit 0 1;
+      ev 1 0 (put "k" v2) History.Ok_unit 2 3;
+      ev 2 1 (History.Get "k") (got (Some v1)) 4 5;
+    ]
+
+let test_linearize_resurrected_delete () =
+  check_bad "resurrected"
+    [
+      ev 0 0 (put "k" v1) History.Ok_unit 0 1;
+      ev 1 0 (History.Delete "k") (History.Existed true) 2 3;
+      ev 2 1 (History.Get "k") (got (Some v1)) 4 5;
+    ]
+
+let test_linearize_phantom_read () =
+  check_bad "phantom" [ ev 0 0 (History.Get "k") (got (Some v1)) 0 1 ]
+
+let test_linearize_init () =
+  let init k = if k = "k" then Some v1 else None in
+  check_ok ~init "preloaded value readable"
+    [ ev 0 0 (History.Get "k") (got (Some v1)) 0 1 ];
+  check_ok ~init "preloaded key deletable"
+    [
+      ev 0 0 (History.Delete "k") (History.Existed true) 0 1;
+      ev 1 0 (History.Get "k") (got None) 2 3;
+    ];
+  check_bad ~init "preloaded key is not absent"
+    [ ev 0 0 (History.Delete "k") (History.Existed false) 0 1 ]
+
+let test_linearize_scan () =
+  let scan items = History.Items items in
+  check_ok "scan prefix"
+    [
+      ev 0 0 (put "a" v1) History.Ok_unit 0 1;
+      ev 1 0 (put "b" v2) History.Ok_unit 2 3;
+      ev 2 1 (History.Scan ("a", 2)) (scan [ ("a", v1); ("b", v2) ]) 4 5;
+    ];
+  check_bad "scan unwritten value"
+    [
+      ev 0 0 (put "a" v1) History.Ok_unit 0 1;
+      ev 1 1 (History.Scan ("a", 2)) (scan [ ("a", v2) ]) 2 3;
+    ];
+  check_bad "scan unsorted"
+    [
+      ev 0 0 (put "a" v1) History.Ok_unit 0 1;
+      ev 1 0 (put "b" v2) History.Ok_unit 2 3;
+      ev 2 1 (History.Scan ("a", 2)) (scan [ ("b", v2); ("a", v1) ]) 4 5;
+    ]
+
+(* ---- whole-run determinism (qcheck) ---- *)
+
+(* Two runs of the same seeded schedule must agree on everything
+   observable: final virtual clock, events executed, history length, and
+   the store's operation statistics. *)
+let store_run ~tie_seed ~seed =
+  let engine = Engine.create () in
+  Engine.set_tie_break engine (Engine.Seeded tie_seed);
+  let stats = ref None in
+  Engine.spawn engine (fun () ->
+      let cfg =
+        {
+          (Prism_core.Config.scaled ~threads:3 ~keys:64 ~value_size:64
+             Prism_core.Config.default)
+          with
+          Prism_core.Config.seed;
+        }
+      in
+      let store = Prism_core.Store.create engine cfg in
+      let rng = Rng.create seed in
+      for tid = 0 to 2 do
+        Engine.spawn engine (fun () ->
+            for i = 0 to 39 do
+              let k = key (Rng.int rng 64) in
+              if i mod 3 = 0 then ignore (Prism_core.Store.get store ~tid k)
+              else Prism_core.Store.put store ~tid k (value i)
+            done)
+      done;
+      stats := Some (Prism_core.Store.stats store));
+  let clock = Engine.run engine in
+  let s = Option.get !stats in
+  ( clock,
+    Engine.events_executed engine,
+    ( s.Prism_core.Store.puts,
+      s.Prism_core.Store.gets,
+      s.Prism_core.Store.svc_hits,
+      s.Prism_core.Store.pwb_hits,
+      s.Prism_core.Store.vs_reads,
+      s.Prism_core.Store.misses ) )
+
+let test_determinism_qcheck =
+  qcase ~count:10 "same seed, same run (clock, events, store stats)"
+    QCheck.(pair small_int small_int)
+    (fun (a, b) ->
+      let tie_seed = Int64.of_int ((a * 65_537) + 1) in
+      let seed = Int64.of_int ((b * 257) + 1) in
+      let r1 = store_run ~tie_seed ~seed in
+      let r2 = store_run ~tie_seed ~seed in
+      r1 = r2)
+
+(* ---- explore ---- *)
+
+let explore_cfg =
+  {
+    Explore.default with
+    Explore.threads = 3;
+    records = 48;
+    ops_per_thread = 16;
+    seed = 42L;
+  }
+
+let test_explore_clean () =
+  let report = Explore.run ~schedules:4 explore_cfg in
+  Alcotest.(check int) "ran all schedules" 4
+    (List.length report.Explore.schedules);
+  Alcotest.(check bool) "schedules differ" true (report.Explore.distinct > 1);
+  (match report.Explore.failures with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.failf "clean store reported a violation: %s"
+        f.Explore.violation);
+  (* Same master seed, same report. *)
+  let report' = Explore.run ~schedules:4 explore_cfg in
+  Alcotest.(check bool) "exploration is reproducible" true
+    (List.map
+       (fun s -> (s.Explore.tie_seed, s.Explore.fingerprint))
+       report.Explore.schedules
+    = List.map
+        (fun s -> (s.Explore.tie_seed, s.Explore.fingerprint))
+        report'.Explore.schedules)
+
+let test_explore_catches_stale_cache () =
+  let cfg =
+    { Explore.default with Explore.fault = Explore.Skip_svc_invalidate; seed = 42L }
+  in
+  let report = Explore.run ~schedules:3 cfg in
+  match report.Explore.failures with
+  | [] ->
+      Alcotest.fail
+        "disabled SVC invalidation survived the linearizability check"
+  | f :: _ ->
+      (* The reported tie seed must replay to the same verdict. *)
+      let replayed = Explore.replay cfg ~tie_seed:f.Explore.stats.Explore.tie_seed in
+      Alcotest.(check bool) "failure replays from its seed" true
+        (replayed <> None)
+
+let test_explore_kvell () =
+  let report =
+    Explore.run ~schedules:3 { explore_cfg with Explore.store = `Kvell }
+  in
+  Alcotest.(check int) "kvell schedules" 3
+    (List.length report.Explore.schedules);
+  Alcotest.(check bool) "kvell linearizable" true
+    (report.Explore.failures = [])
+
+(* ---- crash sweep ---- *)
+
+let sweep_cfg =
+  {
+    Crash_sweep.default with
+    Crash_sweep.threads = 2;
+    keys_per_thread = 12;
+    ops_per_thread = 30;
+    crash_every = 40;
+    seed = 9L;
+  }
+
+let test_sweep_prism () =
+  let report = Crash_sweep.run sweep_cfg in
+  Alcotest.(check bool) "injected some crashes" true
+    (report.Crash_sweep.crash_points > 0);
+  match report.Crash_sweep.violations with
+  | [] -> ()
+  | v :: _ ->
+      Alcotest.failf "prism recovery violation at %s boundary %d: %s"
+        v.Crash_sweep.boundary v.Crash_sweep.crash_point v.Crash_sweep.detail
+
+let test_sweep_kvell () =
+  let report =
+    Crash_sweep.run { sweep_cfg with Crash_sweep.store = `Kvell }
+  in
+  Alcotest.(check bool) "injected some crashes" true
+    (report.Crash_sweep.crash_points > 0);
+  Alcotest.(check bool) "kvell recoveries consistent" true
+    (report.Crash_sweep.violations = [])
+
+let test_sweep_catches_lost_writes () =
+  let report =
+    Crash_sweep.run
+      { sweep_cfg with Crash_sweep.fault_skip_hsit_flush = true; crash_every = 10 }
+  in
+  Alcotest.(check bool) "disabled HSIT flush loses acknowledged writes" true
+    (report.Crash_sweep.violations <> [])
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "schedule-control",
+        [
+          case "heap clear" test_heap_clear;
+          case "engine clear_pending" test_clear_pending;
+          case "fifo default unchanged" test_fifo_default_unchanged;
+          case "seeded tie-break explores" test_seeded_explores;
+          case "replay reproduces" test_replay_reproduces;
+          case "exhausted replay degrades to fifo"
+            test_replay_exhausted_degrades;
+          case "ivar timeout leaves no waiters" test_ivar_timeout_no_leak;
+        ] );
+      ( "linearize",
+        [
+          case "sequential history" test_linearize_sequential;
+          case "concurrent put/get" test_linearize_concurrent_ok;
+          case "stale read rejected" test_linearize_stale_read;
+          case "resurrected delete rejected" test_linearize_resurrected_delete;
+          case "phantom read rejected" test_linearize_phantom_read;
+          case "preloaded initial values" test_linearize_init;
+          case "scan monotonic prefix" test_linearize_scan;
+        ] );
+      ("determinism", [ test_determinism_qcheck ]);
+      ( "explore",
+        [
+          case "clean store linearizable" test_explore_clean;
+          case "stale-cache fault caught" test_explore_catches_stale_cache;
+          case "kvell" test_explore_kvell;
+        ] );
+      ( "crash-sweep",
+        [
+          case "prism recovers every point" test_sweep_prism;
+          case "kvell recovers every point" test_sweep_kvell;
+          case "hsit fault caught" test_sweep_catches_lost_writes;
+        ] );
+    ]
