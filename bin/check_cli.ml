@@ -2,15 +2,23 @@
    crash-point sweeps for the simulated stores.
 
      dune exec bin/prism_check.exe -- --seed 42 --schedules 50
+     dune exec bin/prism_check.exe -- --seed 42 --dpor 50
      dune exec bin/prism_check.exe -- --seed 42 --crash-every 5
-     dune exec bin/prism_check.exe -- --store kvell --schedules 20 \
-         --crash-every 10
+     dune exec bin/prism_check.exe -- --store lsm --crash-every 3
      dune exec bin/prism_check.exe -- --schedules 10 --fault svc
      dune exec bin/prism_check.exe -- --replay 0x1234abcd
+     dune exec bin/prism_check.exe -- --replay 0x1234abcd --fault svc --shrink
+     dune exec bin/prism_check.exe -- --replay-choices 0,2,1 --fault svc
+
+   --schedules samples random interleavings (one per derived tie seed);
+   --dpor walks the tie-break decision tree with partial-order reduction
+   instead, so every explored schedule is a distinct Mazurkiewicz class.
+   --shrink minimizes a failing seeded schedule to the fewest non-FIFO
+   tie decisions and prints a list --replay-choices accepts.
 
    Exit status is non-zero when any schedule fails its linearizability
    check or any crash point loses an acknowledged write; failures print a
-   replayable tie seed. *)
+   replayable tie seed (or tie-choice list). *)
 
 open Prism_check
 
@@ -68,14 +76,110 @@ let run_replay ~cfg ~tie_seed =
       Printf.printf "FAILURE:\n%s\n" violation;
       false
 
+let choices_to_string choices =
+  String.concat "," (List.map string_of_int (Array.to_list choices))
+
+let run_dpor ~max_classes ~cfg ~verbose =
+  Printf.printf
+    "DPOR: up to %d interleaving classes: %s, %d threads x %d ops over %d \
+     keys, seed 0x%Lx, fault %s\n\
+     %!"
+    max_classes
+    (match cfg.Explore.store with `Prism -> "prism" | `Kvell -> "kvell")
+    cfg.Explore.threads cfg.Explore.ops_per_thread cfg.Explore.records
+    cfg.Explore.seed
+    (match cfg.Explore.fault with
+    | Explore.No_fault -> "none"
+    | Explore.Skip_svc_invalidate -> "svc"
+    | Explore.Skip_hsit_flush -> "hsit");
+  let progress s =
+    if verbose then
+      Printf.printf
+        "  run %3d  %4d events  %4d tie choices  clock %.6fs\n%!"
+        s.Explore.index s.Explore.events s.Explore.choices s.Explore.clock
+  in
+  let report = Explore.run_dpor ~progress ~max_classes cfg in
+  Printf.printf
+    "explored %d interleaving classes in %d runs (%d pruned as redundant)%s\n"
+    report.Explore.classes report.Explore.runs report.Explore.pruned
+    (if report.Explore.complete then "; class tree exhausted" else "");
+  (match report.Explore.dpor_failures with
+  | [] -> Printf.printf "all explored classes linearizable\n"
+  | failures ->
+      List.iter
+        (fun f ->
+          Printf.printf
+            "FAILURE: class %d (run %d) is not linearizable\n\
+            \  replay with: --replay-choices %s%s\n\
+             %s\n"
+            f.Explore.class_index f.Explore.found_at_run
+            (choices_to_string f.Explore.choices)
+            (match cfg.Explore.fault with
+            | Explore.No_fault -> ""
+            | Explore.Skip_svc_invalidate -> " --fault svc"
+            | Explore.Skip_hsit_flush -> " --fault hsit")
+            f.Explore.violation)
+        failures);
+  report.Explore.dpor_failures = []
+
+let run_replay_choices ~cfg ~choices =
+  Printf.printf "replaying schedule with tie choices [%s]\n%!"
+    (choices_to_string choices);
+  match Explore.replay_choices cfg ~choices with
+  | None ->
+      Printf.printf "schedule is linearizable\n";
+      true
+  | Some violation ->
+      Printf.printf "FAILURE:\n%s\n" violation;
+      false
+
+let run_shrink ~cfg ~tie_seed =
+  Printf.printf "recording schedule with tie-seed 0x%Lx for shrinking\n%!"
+    tie_seed;
+  let choices, violation = Explore.record cfg ~tie_seed in
+  match violation with
+  | None ->
+      Printf.printf
+        "schedule is linearizable; nothing to shrink (run with a failing \
+         seed/fault)\n";
+      true
+  | Some _ -> (
+      Printf.printf "schedule fails with %d tie decisions; shrinking...\n%!"
+        (Array.length choices);
+      match Explore.shrink cfg ~choices with
+      | None ->
+          Printf.printf "shrink could not reproduce the violation\n";
+          false
+      | Some s ->
+          Printf.printf
+            "shrunk to %d non-FIFO tie decisions (%d decision list entries) \
+             in %d replays\n\
+            \  replay with: --replay-choices %s%s\n\
+             FAILURE (still reproduces):\n\
+             %s\n"
+            s.Explore.non_fifo
+            (Array.length s.Explore.minimal)
+            s.Explore.replays
+            (if Array.length s.Explore.minimal = 0 then "0"
+             else choices_to_string s.Explore.minimal)
+            (match cfg.Explore.fault with
+            | Explore.No_fault -> ""
+            | Explore.Skip_svc_invalidate -> " --fault svc"
+            | Explore.Skip_hsit_flush -> " --fault hsit")
+            s.Explore.shrunk_violation;
+          false)
+
 let run_sweep ~cfg ~verbose =
   Printf.printf
     "crash sweep: %s, every %d%s boundary, %d threads x %d ops, seed 0x%Lx%s\n\
      %!"
-    (match cfg.Crash_sweep.store with `Prism -> "prism" | `Kvell -> "kvell")
+    (match cfg.Crash_sweep.store with
+    | `Prism -> "prism"
+    | `Kvell -> "kvell"
+    | `Lsm -> if cfg.Crash_sweep.lsm_wal then "lsm" else "lsm (WAL disabled!)")
     cfg.Crash_sweep.crash_every
     (match cfg.Crash_sweep.store with
-    | `Prism -> "th durability"
+    | `Prism | `Lsm -> "th durability"
     | `Kvell -> "th-event time-grid")
     cfg.Crash_sweep.threads cfg.Crash_sweep.ops_per_thread
     cfg.Crash_sweep.seed
@@ -108,8 +212,18 @@ let run_sweep ~cfg ~verbose =
         vs);
   report.Crash_sweep.violations = []
 
-let main store seed schedules crash_every replay fault threads ops records
-    keys_per_thread verbose =
+let parse_choices s =
+  try
+    String.split_on_char ',' s
+    |> List.filter (fun part -> String.trim part <> "")
+    |> List.map (fun part -> int_of_string (String.trim part))
+    |> Array.of_list
+  with Failure _ ->
+    Printf.eprintf "bad --replay-choices %S (use e.g. 0,2,1)\n" s;
+    exit 2
+
+let main store seed schedules dpor crash_every replay replay_choices shrink
+    no_lsm_wal fault threads ops records keys_per_thread verbose =
   let fault =
     match fault with
     | "none" -> Explore.No_fault
@@ -123,14 +237,33 @@ let main store seed schedules crash_every replay fault threads ops records
     match store with
     | "prism" -> `Prism
     | "kvell" -> `Kvell
+    | "lsm" -> `Lsm
     | other ->
-        Printf.eprintf "unknown --store %S (use prism|kvell)\n" other;
+        Printf.eprintf "unknown --store %S (use prism|kvell|lsm)\n" other;
         exit 2
+  in
+  let explore_store =
+    match store with
+    | `Prism -> `Prism
+    | `Kvell -> `Kvell
+    | `Lsm ->
+        (* The LSM adapter acknowledges deletes unconditionally, which
+           would read as linearizability violations that aren't — so the
+           LSM store is checked by the crash sweep only. *)
+        if
+          schedules > 0 || dpor > 0 || replay <> None
+          || replay_choices <> None
+        then begin
+          Printf.eprintf
+            "--store lsm supports only the crash sweep (--crash-every)\n";
+          exit 2
+        end;
+        `Prism
   in
   let explore_cfg =
     {
       Explore.default with
-      Explore.store;
+      Explore.store = explore_store;
       threads;
       ops_per_thread = ops;
       records;
@@ -147,27 +280,48 @@ let main store seed schedules crash_every replay fault threads ops records
       keys_per_thread;
       crash_every = max 1 crash_every;
       fault_skip_hsit_flush = fault = Explore.Skip_hsit_flush;
+      lsm_wal = not no_lsm_wal;
       seed;
     }
   in
+  if shrink && replay = None then begin
+    Printf.eprintf "--shrink needs --replay SEED to name the schedule\n";
+    exit 2
+  end;
   let ok = ref true in
   let did = ref false in
   (match replay with
   | Some tie_seed ->
       did := true;
-      if not (run_replay ~cfg:explore_cfg ~tie_seed) then ok := false
+      let r =
+        if shrink then run_shrink ~cfg:explore_cfg ~tie_seed
+        else run_replay ~cfg:explore_cfg ~tie_seed
+      in
+      if not r then ok := false
+  | None -> ());
+  (match replay_choices with
+  | Some s ->
+      did := true;
+      if not (run_replay_choices ~cfg:explore_cfg ~choices:(parse_choices s))
+      then ok := false
   | None -> ());
   if schedules > 0 then begin
     did := true;
     if not (run_explore ~schedules ~cfg:explore_cfg ~verbose) then ok := false
   end;
-  if crash_every > 0 && replay = None then begin
+  if dpor > 0 then begin
+    did := true;
+    if not (run_dpor ~max_classes:dpor ~cfg:explore_cfg ~verbose) then
+      ok := false
+  end;
+  if crash_every > 0 && replay = None && replay_choices = None then begin
     did := true;
     if not (run_sweep ~cfg:sweep_cfg ~verbose) then ok := false
   end;
   if not !did then begin
     Printf.eprintf
-      "nothing to do: pass --schedules N, --crash-every K, or --replay SEED\n";
+      "nothing to do: pass --schedules N, --dpor N, --crash-every K, \
+       --replay SEED, or --replay-choices LIST\n";
     exit 2
   end;
   if !ok then 0 else 1
@@ -176,7 +330,8 @@ open Cmdliner
 
 let store =
   Arg.(value & opt string "prism" & info [ "store" ] ~docv:"STORE"
-         ~doc:"Store to check: $(b,prism) or $(b,kvell).")
+         ~doc:"Store to check: $(b,prism), $(b,kvell), or $(b,lsm) (crash \
+               sweep only).")
 
 let seed =
   Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"SEED"
@@ -193,10 +348,35 @@ let crash_every =
          ~doc:"Sweep crash points at every $(docv)-th durability boundary \
                and audit recovery.")
 
+let dpor =
+  Arg.(value & opt int 0 & info [ "dpor" ] ~docv:"N"
+         ~doc:"Explore up to $(docv) distinct interleaving classes with \
+               dynamic partial-order reduction (sleep sets + persistent \
+               sets) instead of blind seed sampling.")
+
 let replay =
   Arg.(value & opt (some int64) None & info [ "replay" ] ~docv:"TIESEED"
          ~doc:"Replay the single schedule named by a tie seed from a \
                failure report.")
+
+let replay_choices =
+  Arg.(value & opt (some string) None
+       & info [ "replay-choices" ] ~docv:"LIST"
+           ~doc:"Replay the schedule named by a comma-separated tie-choice \
+                 list from a $(b,--dpor) or $(b,--shrink) report.")
+
+let shrink =
+  Arg.(value & flag
+       & info [ "shrink" ]
+           ~doc:"With $(b,--replay SEED): greedily revert the failing \
+                 schedule's tie decisions to FIFO while the violation \
+                 persists, and print the minimal tie-choice list.")
+
+let no_lsm_wal =
+  Arg.(value & flag
+       & info [ "no-lsm-wal" ]
+           ~doc:"With $(b,--store lsm): disable the write-ahead log. The \
+                 sweep must then report lost acknowledged writes.")
 
 let fault =
   Arg.(value & opt string "none" & info [ "fault" ] ~docv:"FAULT"
@@ -233,7 +413,8 @@ let cmd =
   Cmd.v
     (Cmd.info "prism-check" ~doc)
     Term.(
-      const main $ store $ seed $ schedules $ crash_every $ replay $ fault
-      $ threads $ ops $ records $ keys_per_thread $ verbose)
+      const main $ store $ seed $ schedules $ dpor $ crash_every $ replay
+      $ replay_choices $ shrink $ no_lsm_wal $ fault $ threads $ ops
+      $ records $ keys_per_thread $ verbose)
 
 let () = exit (Cmd.eval' cmd)

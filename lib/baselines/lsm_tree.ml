@@ -31,8 +31,20 @@ type t = {
   container : Memtable.t; (* Container mode (MatrixKV matrix container) *)
   mutable levels : Sstable.t array array; (* levels.(i) = L(i+1) *)
   cache : (int * int, int) Lru.t; (* (table id, block) -> charged bytes *)
-  flush_wakeup : unit Sync.Mailbox.t;
-  compact_wakeup : unit Sync.Mailbox.t;
+  (* Durable WAL content, for crash recovery: the records backing the
+     active memtable and the immutable one being flushed (newest first).
+     Mirrors RocksDB's live + to-be-deleted log files; [wal_frozen] is
+     reclaimed when its memtable's flush publishes. *)
+  mutable wal_live : (string * bytes option) list;
+  mutable wal_frozen : (string * bytes option) list;
+  mutable wal_appends : int;
+  mutable publishes : int;
+  mutable wal_hook : (int -> unit) option;
+  mutable publish_hook : (int -> unit) option;
+  (* Mailboxes and locks are volatile: a crash kills their waiters with
+     [Engine.clear_pending], so {!crash} replaces them wholesale. *)
+  mutable flush_wakeup : unit Sync.Mailbox.t;
+  mutable compact_wakeup : unit Sync.Mailbox.t;
   rotate_waiters : (unit -> unit) Queue.t;
   stall_waiters : (unit -> unit) Queue.t;
   stalls : Metric.Counter.t;
@@ -40,11 +52,11 @@ type t = {
   level_cursor : int array;
   (* RocksDB's block cache is guarded by LRU mutexes; the short critical
      section contends under high read concurrency. *)
-  cache_lock : Sync.Mutex.t;
+  mutable cache_lock : Sync.Mutex.t;
   (* WAL append + memtable insert form one serialized critical section —
      the write-group lock every writer passes through in RocksDB. Prism's
      per-thread PWBs exist precisely to avoid this (§7.2). *)
-  write_lock : Sync.Mutex.t;
+  mutable write_lock : Sync.Mutex.t;
 }
 
 let max_levels = 7
@@ -58,6 +70,21 @@ let compactions t = Metric.Counter.value t.compactions
 let level_bytes_written t = Target.bytes_written t.level_target
 
 let l0_table_count t = List.length t.l0
+
+let wal_appends t = t.wal_appends
+
+let publishes t = t.publishes
+
+let set_wal_hook t hook = t.wal_hook <- hook
+
+let set_publish_hook t hook = t.publish_hook <- hook
+
+(* A new set of SSTables (or container content) became visible and
+   durable — flush publish or compaction output install. The hook is the
+   crash sweep's "sstable-publish" boundary. *)
+let published t =
+  t.publishes <- t.publishes + 1;
+  match t.publish_hook with Some f -> f t.publishes | None -> ()
 
 (* ---- backpressure ---- *)
 
@@ -104,6 +131,10 @@ let rec rotate_memtable t =
   | None ->
       t.immutable_mt <- Some t.memtable;
       t.memtable <- Memtable.create ~rng:(Rng.split t.rng) ();
+      (* WAL rotation rides the memtable rotation: the live log now backs
+         the immutable memtable and is reclaimed once its flush lands. *)
+      t.wal_frozen <- t.wal_live;
+      t.wal_live <- [];
       Sync.Mailbox.send t.flush_wakeup ()
 
 let charge_steps t steps =
@@ -117,7 +148,14 @@ let put_internal t key v =
   Sync.Mutex.with_lock t.write_lock (fun () ->
       if t.cfg.wal_enabled then begin
         Target.write t.wal ~size:(write_record_size key v);
-        Engine.delay (Target.io_overhead t.wal t.cost)
+        Engine.delay (Target.io_overhead t.wal t.cost);
+        (* The record is durable from here: log its content for replay
+           and fire the crash sweep's "wal-append" boundary. A crash
+           raised by the hook loses the memtable insert below — the op is
+           unacknowledged but its WAL record must survive recovery. *)
+        t.wal_live <- (key, v) :: t.wal_live;
+        t.wal_appends <- t.wal_appends + 1;
+        (match t.wal_hook with Some f -> f t.wal_appends | None -> ())
       end;
       let steps = Memtable.put t.memtable key v in
       charge_steps t steps;
@@ -153,6 +191,10 @@ let flush_immutable t =
               total := !total + write_record_size k v)
             entries;
           Target.write t.l0_target ~size:!total);
+      (* Flush output is durable: reclaim the WAL segment that backed
+         this memtable, then announce the publish boundary. *)
+      t.wal_frozen <- [];
+      published t;
       t.immutable_mt <- None;
       let n = Queue.length t.rotate_waiters in
       for _ = 1 to n do
@@ -320,6 +362,7 @@ let compact_l0_tables t =
     t.l0 <- [];
     replace_level t 0 ~remove:l1_overlap ~add:outputs;
     evict_cached_blocks t (l0_tables @ l1_overlap);
+    published t;
     wake_stalled t;
     true
   end
@@ -355,6 +398,7 @@ let compact_container t ~capacity ~column =
         replace_level t 0 ~remove:l1_overlap ~add:outputs;
         evict_cached_blocks t l1_overlap;
         List.iter (fun (k, _) -> Memtable.delete t.container k) col;
+        published t;
         wake_stalled t;
         true
   end
@@ -384,6 +428,7 @@ let compact_level t n =
     replace_level t n ~remove:[ tab ] ~add:[];
     replace_level t (n + 1) ~remove:overlap ~add:outputs;
     evict_cached_blocks t (tab :: overlap);
+    published t;
     true
   end
 
@@ -442,6 +487,12 @@ let create engine cfg ~cost ~rng ~wal ~l0 ~levels =
           ~capacity:(max 4096 cfg.block_cache_bytes)
           ~weight:(fun b -> b)
           ();
+      wal_live = [];
+      wal_frozen = [];
+      wal_appends = 0;
+      publishes = 0;
+      wal_hook = None;
+      publish_hook = None;
       flush_wakeup = Sync.Mailbox.create ();
       compact_wakeup = Sync.Mailbox.create ();
       rotate_waiters = Queue.create ();
@@ -691,3 +742,50 @@ let rec quiesce t =
     Engine.delay 1e-3;
     quiesce t
   end
+
+(* ---- crash and recovery ---- *)
+
+let crash t =
+  (* Power failure: DRAM state — both memtables, the block cache, every
+     waiter — is gone. The WAL content, L0 tables, the NVM container and
+     all levels are durable and survive untouched. As with
+     {!Kvell.crash}, the caller must [Engine.clear_pending] first so the
+     old background loops and blocked writers are dead; mailboxes and
+     locks are replaced because their waiter queues (and a possibly-held
+     write-group lock) died with them. *)
+  t.memtable <- Memtable.create ~rng:(Rng.split t.rng) ();
+  t.immutable_mt <- None;
+  Lru.clear t.cache;
+  Queue.clear t.rotate_waiters;
+  Queue.clear t.stall_waiters;
+  t.flush_wakeup <- Sync.Mailbox.create ();
+  t.compact_wakeup <- Sync.Mailbox.create ();
+  t.cache_lock <- Sync.Mutex.create ();
+  t.write_lock <- Sync.Mutex.create ();
+  start t
+
+let recover t =
+  (* RocksDB-style log replay: oldest record first (frozen segment before
+     the live one), re-inserted into a fresh memtable. Replay is
+     idempotent against a flush that had already published — the replayed
+     records shadow their L0 copies with identical values. Records whose
+     memtable insert a crash cut off are replayed too: their writes were
+     durable but unacknowledged, which the sweep oracle admits as pending
+     outcomes. *)
+  let entries = List.rev t.wal_frozen @ List.rev t.wal_live in
+  let bytes =
+    List.fold_left
+      (fun acc (k, v) -> acc + write_record_size k v)
+      0 entries
+  in
+  if bytes > 0 then begin
+    Target.read t.wal ~size:bytes;
+    Engine.delay (Target.io_overhead t.wal t.cost)
+  end;
+  List.iter
+    (fun (k, v) -> charge_steps t (Memtable.put t.memtable k v))
+    entries;
+  (* Everything replayed now lives in the active memtable, so the whole
+     log is live again (newest first). *)
+  t.wal_live <- List.rev entries;
+  t.wal_frozen <- []

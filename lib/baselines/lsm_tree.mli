@@ -74,3 +74,32 @@ val compactions : t -> int
 val level_bytes_written : t -> int
 
 val l0_table_count : t -> int
+
+(** {2 Crash and recovery}
+
+    The durability boundaries a crash sweep targets: every WAL append
+    (record durable, memtable insert may still be lost) and every SSTable
+    publish (flush or compaction output installed). Hooks receive the
+    running count and may raise to cut the simulation at that boundary. *)
+
+(** WAL records made durable so far (0 when [wal_enabled] is false). *)
+val wal_appends : t -> int
+
+(** Flush/compaction outputs made visible so far. *)
+val publishes : t -> int
+
+val set_wal_hook : t -> (int -> unit) option -> unit
+
+val set_publish_hook : t -> (int -> unit) option -> unit
+
+(** [crash t] models power failure: both memtables, the block cache and
+    all waiters vanish; WAL content, L0/container and levels survive.
+    Background loops are respawned. The caller must
+    [Engine.clear_pending] first (see {!Kvell.crash}). *)
+val crash : t -> unit
+
+(** [recover t] replays the durable WAL (oldest first) into the fresh
+    memtable, charging the log read. A no-op when the WAL is disabled —
+    which is exactly the data loss a sweep with [wal_enabled = false]
+    must detect. *)
+val recover : t -> unit

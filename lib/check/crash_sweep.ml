@@ -4,13 +4,14 @@ open Prism_harness
 exception Crash_now
 
 type config = {
-  store : [ `Prism | `Kvell ];
+  store : [ `Prism | `Kvell | `Lsm ];
   threads : int;
   keys_per_thread : int;
   ops_per_thread : int;
   value_size : int;
   crash_every : int;
   fault_skip_hsit_flush : bool;
+  lsm_wal : bool;
   seed : int64;
 }
 
@@ -23,6 +24,7 @@ let default =
     value_size = 128;
     crash_every = 5;
     fault_skip_hsit_flush = false;
+    lsm_wal = true;
     seed = 1L;
   }
 
@@ -197,9 +199,11 @@ let uninstall_prism_hooks store =
 
 (* Runs one simulation; [target = 0] means no crash (clean run). Returns
    the clean-run boundary counts or the violations found after crash
-   recovery. *)
-let run_prism cfg boundary ~target =
+   recovery. [tie] lets a schedule explorer drive the interleaving of the
+   run (DPOR over crash-recovery runs). *)
+let run_prism ?(tie = Engine.Fifo) cfg boundary ~target =
   let engine = Engine.create () in
+  Engine.set_tie_break engine tie;
   let oracle = make_oracle () in
   let handles = ref None in
   let state = ref 0 in
@@ -246,6 +250,18 @@ let run_prism cfg boundary ~target =
       ignore (Engine.run engine);
       Ok (`Crashed !violations)
 
+(* One composable crash-recovery run, exposed so tests can drive it with
+   a Guided tie-break and explore crash schedules with {!Dpor}. *)
+let prism_crash_once ?tie cfg ~boundary ~target =
+  let b = match boundary with
+    | `Nvm_persist -> Nvm_persist
+    | `Ssd_write -> Ssd_write
+  in
+  match run_prism ?tie cfg b ~target with
+  | Ok (`Completed counts) -> `Completed counts
+  | Ok (`Crashed violations) -> `Crashed violations
+  | Error `Crashed_before_store -> `Crashed_before_store
+
 (* ---- KVell sweep: crash on an even virtual-time grid ---- *)
 
 let kvell_instance cfg engine =
@@ -283,6 +299,82 @@ let run_kvell cfg ~crash_at ~crash_point =
         ignore (Engine.run engine);
         Ok (`Crashed !violations)
 
+(* ---- LSM sweep: crash at WAL-append and SSTable-publish boundaries ---- *)
+
+(* A checker-sized RocksDB-NVM: tiny memtable and level budgets so a
+   short workload exercises flushes and compactions (with production
+   sizes nothing would ever leave the memtable and the publish sweep
+   would be vacuous). Everything on one NVM device — media layout is
+   irrelevant to recovery logic. *)
+let lsm_instance cfg engine =
+  let open Prism_device in
+  let nvm = Model.create engine Spec.optane_dcpmm in
+  let target = Prism_baselines.Target.nvm_dev nvm in
+  let lcfg =
+    {
+      Prism_baselines.Lsm_tree.name = "LSM(sweep)";
+      memtable_bytes = 2 * 1024;
+      l0_mode = Prism_baselines.Lsm_tree.Tables;
+      l0_compaction_trigger = 2;
+      l0_slowdown = 4;
+      l0_stall = 6;
+      level_base_bytes = 8 * 1024;
+      level_multiplier = 4;
+      table_target_bytes = 2 * 1024;
+      block_cache_bytes = 16 * 1024;
+      wal_enabled = cfg.lsm_wal;
+    }
+  in
+  let tree =
+    Prism_baselines.Lsm_tree.create engine lcfg ~cost:Cost.default
+      ~rng:(Rng.create cfg.seed) ~wal:target ~l0:target ~levels:target
+  in
+  (tree, Kv.of_lsm tree ~nvm_written:(fun () -> 0))
+
+type lsm_boundary = Wal_append | Sstable_publish
+
+let lsm_boundary_name = function
+  | Wal_append -> "wal-append"
+  | Sstable_publish -> "sstable-publish"
+
+let run_lsm cfg boundary ~target =
+  let open Prism_baselines in
+  let engine = Engine.create () in
+  let oracle = make_oracle () in
+  let handles = ref None in
+  Engine.spawn engine (fun () ->
+      let tree, kv = lsm_instance cfg engine in
+      handles := Some (tree, kv);
+      if target > 0 then begin
+        let hook = Some (fun c -> if c = target then raise Crash_now) in
+        match boundary with
+        | Wal_append -> Lsm_tree.set_wal_hook tree hook
+        | Sstable_publish -> Lsm_tree.set_publish_hook tree hook
+      end;
+      run_workload cfg kv oracle (all_ops cfg));
+  let crashed =
+    match Engine.run engine with
+    | (_ : float) -> false
+    | exception Crash_now -> true
+  in
+  match (!handles, crashed) with
+  | None, _ -> Error `Crashed_before_store
+  | Some (tree, _), false ->
+      Ok (`Completed (Lsm_tree.wal_appends tree, Lsm_tree.publishes tree))
+  | Some (tree, kv), true ->
+      Lsm_tree.set_wal_hook tree None;
+      Lsm_tree.set_publish_hook tree None;
+      Engine.clear_pending engine;
+      Lsm_tree.crash tree;
+      let violations = ref [] in
+      Engine.spawn engine (fun () ->
+          Lsm_tree.recover tree;
+          violations :=
+            check_recovered cfg kv oracle ~crash_point:target
+              ~boundary:(lsm_boundary_name boundary));
+      ignore (Engine.run engine);
+      Ok (`Crashed !violations)
+
 (* ---- driver ---- *)
 
 let run ?(progress = fun ~boundary:_ ~crash_point:_ -> ()) cfg =
@@ -318,6 +410,37 @@ let run ?(progress = fun ~boundary:_ ~crash_point:_ -> ()) cfg =
         crash_points = !crash_points;
         boundaries =
           [ ("nvm-persist", nvm_total); ("ssd-write", ssd_total) ];
+        violations = List.rev !violations;
+      }
+  | `Lsm ->
+      let wal_total, publish_total =
+        match run_lsm cfg Wal_append ~target:0 with
+        | Ok (`Completed counts) -> counts
+        | Ok (`Crashed _) | Error _ -> assert false
+      in
+      let crash_points = ref 0 in
+      let violations = ref [] in
+      let sweep boundary total =
+        let target = ref k in
+        while !target <= total do
+          (match run_lsm cfg boundary ~target:!target with
+          | Ok (`Crashed v) ->
+              incr crash_points;
+              violations := v @ !violations;
+              progress
+                ~boundary:(lsm_boundary_name boundary)
+                ~crash_point:!target
+          | Ok (`Completed _) -> target := total
+          | Error `Crashed_before_store -> ());
+          target := !target + k
+        done
+      in
+      sweep Wal_append wal_total;
+      sweep Sstable_publish publish_total;
+      {
+        crash_points = !crash_points;
+        boundaries =
+          [ ("wal-append", wal_total); ("sstable-publish", publish_total) ];
         violations = List.rev !violations;
       }
   | `Kvell ->

@@ -9,14 +9,16 @@
     linearizability search. Boundaries are observed through the hook
     counters: {!Prism_media.Nvm.set_persist_hook} (every [clwb+sfence])
     and {!Prism_media.Ssd_image.set_write_hook} (every completed chunk
-    write) for Prism; KVell's page writes carry no content image, so its
-    sweep uses an even virtual-time grid sized to one crash per
+    write) for Prism; the LSM baseline's WAL-append and SSTable-publish
+    hooks ({!Prism_baselines.Lsm_tree.set_wal_hook} /
+    [set_publish_hook]); KVell's page writes carry no content image, so
+    its sweep uses an even virtual-time grid sized to one crash per
     [crash_every] executed events. The injection hook raises inside the
     simulation, which unwinds {!Prism_sim.Engine.run}; the sweep then
     clears pending events, crashes the store, recovers, and audits. *)
 
 type config = {
-  store : [ `Prism | `Kvell ];
+  store : [ `Prism | `Kvell | `Lsm ];
   threads : int;
   keys_per_thread : int;  (** disjoint per-thread key ranges *)
   ops_per_thread : int;
@@ -25,6 +27,9 @@ type config = {
   fault_skip_hsit_flush : bool;
       (** deliberately break the §5.4 persist protocol (Prism only); the
           sweep must then report lost acknowledged writes *)
+  lsm_wal : bool;
+      (** [`Lsm] only: disable to model WAL-less RocksDB — the publish
+          sweep must then report lost acknowledged writes *)
   seed : int64;
 }
 
@@ -32,7 +37,9 @@ val default : config
 
 type violation = {
   crash_point : int;  (** boundary ordinal (or grid index) injected at *)
-  boundary : string;  (** ["nvm-persist"], ["ssd-write"], ["virtual-time"] *)
+  boundary : string;
+      (** ["nvm-persist"], ["ssd-write"], ["wal-append"],
+          ["sstable-publish"], ["virtual-time"] *)
   key : string;
   detail : string;
 }
@@ -48,3 +55,18 @@ type report = {
     after each injected crash. *)
 val run :
   ?progress:(boundary:string -> crash_point:int -> unit) -> config -> report
+
+(** [prism_crash_once cfg ~boundary ~target] is one Prism
+    crash-at-boundary-[target] run (clean when [target = 0]), under an
+    explorer-controlled tie-break — the building block for composing
+    {!Dpor} with crash recovery. [`Completed] carries the clean run's
+    (nvm-persist, ssd-write) boundary counts; [`Crashed_before_store]
+    means [target] fell inside store creation. *)
+val prism_crash_once :
+  ?tie:Prism_sim.Engine.tie_break ->
+  config ->
+  boundary:[ `Nvm_persist | `Ssd_write ] ->
+  target:int ->
+  [ `Completed of int * int
+  | `Crashed of violation list
+  | `Crashed_before_store ]

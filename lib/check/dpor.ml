@@ -1,0 +1,217 @@
+open Prism_sim
+
+module Iset = Set.Make (Int)
+
+(* One decision point of the choice tree. [alts] is the tie set the
+   engine presented (scheduling order, so index 0 is the FIFO pick);
+   event seq numbers are the stable identity of an alternative — the
+   simulation is deterministic, so re-running the same choice prefix
+   reproduces the same tie set with the same seqs. *)
+type node = {
+  alts : Engine.alt array;
+  sleep : Iset.t;  (* seqs asleep on entry to this node *)
+  branch : Iset.t;  (* persistent set: seqs eligible for branching here *)
+  mutable taken : int;  (* index into [alts] currently being explored *)
+  mutable explored : Iset.t;  (* seqs whose subtrees are fully explored *)
+}
+
+type 'a class_result = {
+  index : int;
+  run : int;
+  depth : int;
+  choices : int array;
+  result : 'a;
+}
+
+type 'a report = {
+  classes : 'a class_result list;
+  explored : int;
+  runs : int;
+  pruned : int;
+  complete : bool;
+}
+
+exception Diverged
+
+(* Dependency-closure persistent set: the connected component of the
+   chosen alternative under [dependent], within the tie set. Members of
+   other components commute with everything we will branch on here, and
+   their own conflicts are branched at the later decision points where
+   they meet — so branching only inside the component covers every
+   inequivalent ordering this node can influence. With [full] the whole
+   tie set is eligible (no reduction). *)
+let closure ~full ~dependent (alts : Engine.alt array) taken_seq =
+  if full then
+    Array.fold_left (fun s (a : Engine.alt) -> Iset.add a.seq s) Iset.empty alts
+  else begin
+    (* Dependency edges require at least one endpoint to carry an
+       operation label. [dependent] treats label 0 (simulator machinery
+       owned by no KV operation) as conflicting with everything, so
+       admitting 0–0 edges would connect every tie set completely and the
+       tree would drown in reorderings of background events no history
+       can distinguish. With the restriction, machinery-only tie sets
+       stay in scheduling order, and branching happens exactly where an
+       operation's event races something dependent on it. *)
+    let edge (a : Engine.alt) (b : Engine.alt) =
+      (a.label <> 0 || b.label <> 0) && dependent a.label b.label
+    in
+    let members = ref (Iset.singleton taken_seq) in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iter
+        (fun (a : Engine.alt) ->
+          if not (Iset.mem a.seq !members) then
+            if
+              Array.exists
+                (fun (b : Engine.alt) -> Iset.mem b.seq !members && edge a b)
+                alts
+            then begin
+              members := Iset.add a.seq !members;
+              changed := true
+            end)
+        alts
+    done;
+    !members
+  end
+
+let explore ?(full = false) ?(stop_on = fun _ -> false) ~max_classes ~dependent
+    run_fn =
+  (* Labels of every seq ever seen in a tie set. Seqs are deterministic
+     per prefix, so entries stay valid across runs; sleep-set filtering
+     needs a label even for seqs absent from the current tie set. *)
+  let label_of : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let stack : node list ref = ref [] in
+  (* deepest decision first *)
+  let classes = ref [] in
+  let n_classes = ref 0 in
+  let runs = ref 0 in
+  let pruned = ref 0 in
+  let complete = ref false in
+  let run_once () =
+    let prefix = Array.of_list (List.rev !stack) in
+    let fresh : node list ref = ref [] in
+    let last : node option ref = ref None in
+    let depth = ref 0 in
+    let redundant = ref false in
+    let choices_rev = ref [] in
+    let choose (alts : Engine.alt array) =
+      Array.iter
+        (fun (a : Engine.alt) -> Hashtbl.replace label_of a.seq a.label)
+        alts;
+      let d = !depth in
+      incr depth;
+      let pick =
+        if d < Array.length prefix then begin
+          let n = prefix.(d) in
+          if
+            Array.length n.alts <> Array.length alts
+            || n.alts.(n.taken).seq <> alts.(n.taken).seq
+          then raise Diverged;
+          last := Some n;
+          n.taken
+        end
+        else if !redundant then 0
+        else begin
+          (* Sleep set: alternatives already covered by an earlier sibling
+             subtree stay asleep until something dependent executes
+             (Godefroid). Waking is the filter below; falling asleep is
+             the [explored] union. *)
+          let sleep =
+            match !last with
+            | _ when full -> Iset.empty
+            | None -> Iset.empty
+            | Some p ->
+                let tl = p.alts.(p.taken).label in
+                Iset.union p.sleep p.explored
+                |> Iset.filter (fun s ->
+                       match Hashtbl.find_opt label_of s with
+                       | Some l -> not (dependent l tl)
+                       | None -> false)
+          in
+          let taken = ref (-1) in
+          Array.iteri
+            (fun i (a : Engine.alt) ->
+              if !taken < 0 && not (Iset.mem a.seq sleep) then taken := i)
+            alts;
+          if !taken < 0 then begin
+            (* Every enabled alternative is asleep: any completion of this
+               prefix is Mazurkiewicz-equivalent to an already-explored
+               schedule. Finish the run FIFO but report it pruned. *)
+            redundant := true;
+            0
+          end
+          else begin
+            let node =
+              {
+                alts;
+                sleep;
+                branch = closure ~full ~dependent alts alts.(!taken).seq;
+                taken = !taken;
+                explored = Iset.empty;
+              }
+            in
+            fresh := node :: !fresh;
+            last := Some node;
+            !taken
+          end
+        end
+      in
+      choices_rev := pick :: !choices_rev;
+      pick
+    in
+    let result = run_fn ~choose in
+    stack := !fresh @ !stack;
+    (result, !redundant, !depth, Array.of_list (List.rev !choices_rev))
+  in
+  (* Deepest node with an unexplored, awake branch candidate; pop the
+     exhausted tail. *)
+  let rec backtrack () =
+    match !stack with
+    | [] -> false
+    | n :: rest ->
+        n.explored <- Iset.add n.alts.(n.taken).seq n.explored;
+        let cand = ref (-1) in
+        Array.iteri
+          (fun i (a : Engine.alt) ->
+            if
+              !cand < 0
+              && Iset.mem a.seq n.branch
+              && (not (Iset.mem a.seq n.explored))
+              && not (Iset.mem a.seq n.sleep)
+            then cand := i)
+          n.alts;
+        if !cand >= 0 then begin
+          n.taken <- !cand;
+          true
+        end
+        else begin
+          stack := rest;
+          backtrack ()
+        end
+  in
+  let continue_ = ref true in
+  while !continue_ do
+    let result, redundant, depth, choices = run_once () in
+    incr runs;
+    let stop = ref false in
+    if redundant then incr pruned
+    else begin
+      classes :=
+        { index = !n_classes; run = !runs; depth; choices; result } :: !classes;
+      incr n_classes;
+      if stop_on result then stop := true
+    end;
+    if !stop || !n_classes >= max_classes then continue_ := false
+    else if not (backtrack ()) then begin
+      complete := true;
+      continue_ := false
+    end
+  done;
+  {
+    classes = List.rev !classes;
+    explored = !n_classes;
+    runs = !runs;
+    pruned = !pruned;
+    complete = !complete;
+  }

@@ -1,0 +1,75 @@
+(** Dynamic partial-order reduction over the simulator's tie-break tree.
+
+    The deterministic engine makes a schedule a pure function of its
+    tie-break decisions, so the space of schedules is a finite tree: one
+    node per tie set of size >= 2, one edge per member chosen. Blind seed
+    sampling draws random paths of that tree and mostly resamples
+    Mazurkiewicz-equivalent interleavings; this module walks the tree
+    systematically instead, pruned so that {e every completed run is a
+    distinct equivalence class}:
+
+    - {b Sleep sets} (Godefroid): after a subtree rooted at alternative
+      [a] is fully explored, [a] falls asleep in its siblings' subtrees
+      and only wakes when a dependent transition executes. Choosing a
+      sleeping alternative can only reproduce an explored class, so runs
+      that reach an all-asleep tie set are abandoned as redundant — this
+      is what makes completed runs pairwise inequivalent.
+    - {b Persistent sets}: at each node, branching is restricted to the
+      dependency-connected component of the default choice (under the
+      caller's [dependent] relation over scheduling labels, typically
+      {!History.conflicting}). Alternatives in other components commute
+      with the whole component, and their own conflicts surface at later
+      nodes. A dependency edge needs at least one labelled endpoint:
+      unlabelled events ([label = 0] — engine machinery owned by no KV
+      operation) are conservatively dependent with everything, so
+      0–0 edges would connect every tie set completely and the tree
+      would drown in reorderings of background events no history can
+      distinguish. Machinery-only tie sets thus stay in scheduling
+      order; branching happens exactly where an operation's event races
+      something dependent on it.
+
+    The reduction is exact when the dependency of two operations is
+    visible at the tie sets where they are co-enabled (the lockstep
+    micro-programs the tests enumerate); for the full store it is the
+    usual local-independence approximation. [full = true] disables both
+    prunings and branches on the entire tie set — the exhaustive
+    brute-force reference. *)
+
+type 'a class_result = {
+  index : int;  (** 0-based equivalence-class index, exploration order *)
+  run : int;  (** 1-based simulation count when this class completed *)
+  depth : int;  (** tie-break decision points in this run *)
+  choices : int array;
+      (** the full decision list — feed to {!Prism_sim.Engine.Replay} to
+          reproduce this exact schedule *)
+  result : 'a;
+}
+
+type 'a report = {
+  classes : 'a class_result list;  (** in exploration order *)
+  explored : int;  (** number of classes = completed runs *)
+  runs : int;  (** total simulations, including pruned ones *)
+  pruned : int;  (** runs abandoned as sleep-set redundant *)
+  complete : bool;  (** the whole tree was exhausted within budget *)
+}
+
+exception Diverged
+(** Raised when a re-run does not reproduce the recorded tie sets — the
+    simulation under test is not deterministic, which breaks stateless
+    exploration. *)
+
+(** [explore ~max_classes ~dependent run] drives [run] repeatedly, each
+    time passing a [choose] callback the engine's [Guided] policy calls
+    at every tie decision; [choose] replays the current prefix and
+    extends it by first-awake choices. Exploration stops when the tree is
+    exhausted, [max_classes] classes completed, or [stop_on result] is
+    true for a completed class. [dependent] is the conflict relation over
+    event labels; [full = true] disables persistent-set pruning {e and}
+    sleep sets — the exhaustive walk used as a brute-force reference. *)
+val explore :
+  ?full:bool ->
+  ?stop_on:('a -> bool) ->
+  max_classes:int ->
+  dependent:(int -> int -> bool) ->
+  (choose:(Prism_sim.Engine.alt array -> int) -> 'a) ->
+  'a report

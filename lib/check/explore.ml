@@ -139,9 +139,9 @@ let run_op kv ~tid = function
   | O_delete key -> ignore (kv.Kv.delete ~tid key)
   | O_scan (key, n) -> ignore (kv.Kv.scan ~tid key n)
 
-let run_schedule cfg ~index ~tie_seed =
+let run_one cfg ~index ~tie_seed ~tie =
   let engine = Engine.create () in
-  Engine.set_tie_break engine (Engine.Seeded tie_seed);
+  Engine.set_tie_break engine tie;
   let hist = History.create () in
   let ops = gen_ops cfg in
   let kv = make_kv cfg engine in
@@ -183,10 +183,18 @@ let run_schedule cfg ~index ~tie_seed =
   let init key =
     if Hashtbl.mem preloaded key then Some (preload_value cfg key) else None
   in
-  match Linearize.check ~init events with
-  | Ok () -> (stats, None)
-  | Error v ->
-      (stats, Some (Format.asprintf "%a" Linearize.pp_violation v))
+  let violation =
+    match Linearize.check ~init events with
+    | Ok () -> None
+    | Error v -> Some (Format.asprintf "%a" Linearize.pp_violation v)
+  in
+  (stats, choices, violation)
+
+let run_schedule cfg ~index ~tie_seed =
+  let stats, _choices, violation =
+    run_one cfg ~index ~tie_seed ~tie:(Engine.Seeded tie_seed)
+  in
+  (stats, violation)
 
 let run ?(progress = fun _ -> ()) ~schedules cfg =
   let stats = ref [] in
@@ -212,3 +220,161 @@ let replay cfg ~tie_seed =
   let stats, fail = run_schedule cfg ~index:0 ~tie_seed in
   ignore stats;
   fail
+
+(* ---- DPOR exploration ---- *)
+
+type dpor_failure = {
+  class_index : int;
+  found_at_run : int;
+  choices : int array;
+  violation : string;
+}
+
+type dpor_report = {
+  classes : int;
+  runs : int;
+  pruned : int;
+  complete : bool;
+  dpor_failures : dpor_failure list;
+}
+
+let run_dpor ?(progress = fun _ -> ()) ?(stop_on_failure = false) ~max_classes
+    cfg =
+  let index = ref 0 in
+  let run ~choose =
+    let i = !index in
+    incr index;
+    let stats, _choices, violation =
+      run_one cfg ~index:i ~tie_seed:0L ~tie:(Engine.Guided choose)
+    in
+    progress stats;
+    violation
+  in
+  let report =
+    Dpor.explore
+      ~stop_on:(fun violation -> stop_on_failure && violation <> None)
+      ~max_classes ~dependent:History.conflicting run
+  in
+  let dpor_failures =
+    List.filter_map
+      (fun (c : string option Dpor.class_result) ->
+        match c.Dpor.result with
+        | Some violation ->
+            Some
+              {
+                class_index = c.Dpor.index;
+                found_at_run = c.Dpor.run;
+                choices = c.Dpor.choices;
+                violation;
+              }
+        | None -> None)
+      report.Dpor.classes
+  in
+  {
+    classes = report.Dpor.explored;
+    runs = report.Dpor.runs;
+    pruned = report.Dpor.pruned;
+    complete = report.Dpor.complete;
+    dpor_failures;
+  }
+
+(* ---- choice-list replay and shrinking ---- *)
+
+let run_tie cfg ~tie =
+  let _stats, choices, violation = run_one cfg ~index:0 ~tie_seed:0L ~tie in
+  (choices, violation)
+
+let record cfg ~tie_seed =
+  let _stats, choices, violation =
+    run_one cfg ~index:0 ~tie_seed ~tie:(Engine.Seeded tie_seed)
+  in
+  (choices, violation)
+
+let replay_choices cfg ~choices =
+  let _stats, _recorded, violation =
+    run_one cfg ~index:0 ~tie_seed:0L ~tie:(Engine.Replay choices)
+  in
+  violation
+
+type shrunk = {
+  minimal : int array;
+  non_fifo : int;
+  replays : int;
+  shrunk_violation : string;
+}
+
+let count_non_fifo choices =
+  Array.fold_left (fun acc c -> if c <> 0 then acc + 1 else acc) 0 choices
+
+(* Delta-debugging toward FIFO: choice 0 at a tie point is the FIFO pick
+   (lowest seq), and an exhausted/over-long replay degrades to FIFO too,
+   so "minimal" means "fewest decision points where the schedule departs
+   from scheduling order". Reverting a choice changes every downstream
+   tie set, so each candidate is validated by a full replay; whatever
+   violation the replay reports keeps the candidate — the shrunk
+   schedule stays a genuine counterexample throughout.
+
+   A recorded schedule carries hundreds of non-FIFO decisions of which a
+   handful matter, so reverting one index per replay would cost O(n)
+   simulations. Instead, ddmin-style: revert whole blocks of decisions,
+   halving the block size when no block can be reverted, down to single
+   indices — O(k log n) replays when k decisions are load-bearing.
+   [max_replays] caps the cost; the result is minimal-so-far if hit. *)
+let shrink ?(max_replays = 200) cfg ~choices =
+  match replay_choices cfg ~choices with
+  | None -> None
+  | Some v0 ->
+      let n = Array.length choices in
+      let cur = ref (Array.copy choices) in
+      let violation = ref v0 in
+      let replays = ref 1 in
+      let try_zero lo hi =
+        (* [lo, hi): revert to FIFO if a non-FIFO entry is in range and
+           the budget allows; true when committed. *)
+        let has_non_fifo = ref false in
+        for i = lo to hi - 1 do
+          if !cur.(i) <> 0 then has_non_fifo := true
+        done;
+        if (not !has_non_fifo) || !replays >= max_replays then false
+        else begin
+          let candidate = Array.copy !cur in
+          Array.fill candidate lo (hi - lo) 0;
+          incr replays;
+          match replay_choices cfg ~choices:candidate with
+          | Some v ->
+              cur := candidate;
+              violation := v;
+              true
+          | None -> false
+        end
+      in
+      let block = ref (max 1 ((n + 3) / 4)) in
+      let done_ = ref (n = 0) in
+      while not !done_ do
+        let improved = ref false in
+        (* Right to left: late choices affect the least downstream
+           schedule, so they revert with the highest success rate. *)
+        let hi = ref n in
+        while !hi > 0 do
+          let lo = max 0 (!hi - !block) in
+          if try_zero lo !hi then improved := true;
+          hi := lo
+        done;
+        if !replays >= max_replays then done_ := true
+        else if !block > 1 then block := !block / 2
+        else if not !improved then done_ := true
+      done;
+      (* Trailing FIFO entries are no-ops under replay: strip them so the
+         reported list is the shortest one that reproduces. *)
+      let len = ref (Array.length !cur) in
+      while !len > 0 && !cur.(!len - 1) = 0 do
+        decr len
+      done;
+      let minimal = Array.sub !cur 0 !len in
+      Some
+        {
+          minimal;
+          non_fifo = count_non_fifo minimal;
+          replays = !replays;
+          shrunk_violation = !violation;
+        }

@@ -59,6 +59,74 @@ val run :
     violation text, if any — for reproducing a reported failure. *)
 val replay : config -> tie_seed:int64 -> string option
 
+(** {2 DPOR exploration}
+
+    Instead of sampling seeds, {!run_dpor} walks the tie-break decision
+    tree systematically via {!Dpor}, pruned with sleep sets and
+    persistent sets over {!History.conflicting} so that every completed
+    run is a distinct Mazurkiewicz class of the workload. *)
+
+type dpor_failure = {
+  class_index : int;  (** which equivalence class failed *)
+  found_at_run : int;  (** simulations executed when it was found *)
+  choices : int array;
+      (** replayable decision list — [--replay-choices] / {!replay_choices} *)
+  violation : string;
+}
+
+type dpor_report = {
+  classes : int;  (** distinct equivalence classes completed *)
+  runs : int;  (** total simulations, including pruned ones *)
+  pruned : int;  (** runs abandoned as sleep-set redundant *)
+  complete : bool;  (** decision tree exhausted within budget *)
+  dpor_failures : dpor_failure list;
+}
+
+(** [run_dpor ~max_classes cfg] explores up to [max_classes] distinct
+    interleaving classes of the workload. With [stop_on_failure] the walk
+    stops at the first linearizability violation. *)
+val run_dpor :
+  ?progress:(schedule_stats -> unit) ->
+  ?stop_on_failure:bool ->
+  max_classes:int ->
+  config ->
+  dpor_report
+
+(** {2 Choice-list replay and shrinking} *)
+
+(** [record cfg ~tie_seed] runs one seeded schedule and returns the
+    tie-break decisions it took (as {!Prism_sim.Engine.Replay} indices)
+    plus the violation, if any — the raw material for {!shrink}. *)
+val record : config -> tie_seed:int64 -> int array * string option
+
+(** [run_tie cfg ~tie] is one run of the workload under an arbitrary
+    tie-break policy (e.g. [Guided], to drive the store from a custom
+    {!Dpor} exploration), returning the recorded decisions and the
+    violation, if any. *)
+val run_tie :
+  config -> tie:Prism_sim.Engine.tie_break -> int array * string option
+
+(** [replay_choices cfg ~choices] re-runs the schedule named by an
+    explicit decision list. Decisions beyond the list's end fall back to
+    FIFO, so a {!shrink}-stripped list replays to the same schedule. *)
+val replay_choices : config -> choices:int array -> string option
+
+type shrunk = {
+  minimal : int array;  (** shortest reproducing decision list *)
+  non_fifo : int;  (** decisions in [minimal] that depart from FIFO *)
+  replays : int;  (** simulations spent shrinking *)
+  shrunk_violation : string;  (** what [minimal] still violates *)
+}
+
+(** [shrink cfg ~choices] reverts tie decisions to FIFO (index 0) while
+    the replay still reports a violation — ddmin-style over shrinking
+    blocks, so [O(k log n)] replays when [k] of [n] decisions are
+    load-bearing — then strips the trailing FIFO run. Each candidate is
+    validated by a full replay, capped at [max_replays] simulations
+    (minimal-so-far if the cap is hit). [None] if [choices] doesn't
+    reproduce a violation in the first place. *)
+val shrink : ?max_replays:int -> config -> choices:int array -> shrunk option
+
 (** [kvell_sync engine s] builds a KVell instance plus a {!Prism_harness.Kv.t}
     whose [put] is synchronous (returns only once durable), unlike
     {!Prism_harness.Kv.of_kvell}'s injector-style pipelined puts — a

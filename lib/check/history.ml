@@ -1,3 +1,5 @@
+open Prism_sim
+
 type call =
   | Put of string * bytes
   | Get of string
@@ -17,6 +19,8 @@ type event = {
   outcome : outcome;
   inv : int;
   resp : int;
+  inv_time : float;
+  resp_time : float;
 }
 
 type t = {
@@ -35,15 +39,65 @@ let tick t =
   t.stamp <- s + 1;
   s
 
+(* ---- scheduling labels ----
+
+   A label packs (key hash, tid, kind) into one int so the engine can
+   carry it on every pending event of an operation. Key identity is the
+   hash of the key string — stable across runs (no interning), with hash
+   collisions only ever merging two keys into one conflict class, which
+   is conservative for dependency analysis. Kind 0 is reserved for
+   "unlabelled". *)
+
+let kind_read = 1
+
+let kind_write = 2
+
+let kind_scan = 3
+
+let key_hash key = Hashtbl.hash key land 0x3FFFFF
+
+let op_label ~tid call =
+  let kind, keyh =
+    match call with
+    | Put (k, _) -> (kind_write, key_hash k)
+    | Delete k -> (kind_write, key_hash k)
+    | Get k -> (kind_read, key_hash k)
+    | Scan _ -> (kind_scan, 0)
+  in
+  (keyh lsl 10) lor (((tid land 0x7F) + 1) lsl 2) lor kind
+
+let label_kind l = l land 3
+
+let label_key l = l lsr 10
+
+let conflicting a b =
+  if a = 0 || b = 0 then true (* unlabelled: assume the worst *)
+  else begin
+    let ka = label_kind a and kb = label_kind b in
+    (* A scan ranges over keys, so it conflicts with any write; two scans
+       (or two reads of the same key) commute. *)
+    if ka = kind_scan then kb = kind_write
+    else if kb = kind_scan then ka = kind_write
+    else (ka = kind_write || kb = kind_write) && label_key a = label_key b
+  end
+
 let record t ~tid call run =
   if not t.enabled then run ()
   else begin
+    let engine = Engine.current () in
     let op = t.count in
     t.count <- op + 1;
+    let saved = Engine.annotation engine in
+    Engine.annotate engine (op_label ~tid call);
     let inv = tick t in
+    let inv_time = Engine.now engine in
     let outcome = run () in
     let resp = tick t in
-    t.events_rev <- { op; tid; call; outcome; inv; resp } :: t.events_rev;
+    let resp_time = Engine.now engine in
+    Engine.annotate engine saved;
+    t.events_rev <-
+      { op; tid; call; outcome; inv; resp; inv_time; resp_time }
+      :: t.events_rev;
     outcome
   end
 
@@ -110,5 +164,6 @@ let pp_outcome fmt = function
   | Items l -> Format.fprintf fmt "-> %d items" (List.length l)
 
 let pp_event fmt e =
-  Format.fprintf fmt "[%d] tid%d %a %a (inv %d, resp %d)" e.op e.tid pp_call
-    e.call pp_outcome e.outcome e.inv e.resp
+  Format.fprintf fmt "[%d] tid%d %a %a (inv %d@@%.6fs, resp %d@@%.6fs)" e.op
+    e.tid pp_call e.call pp_outcome e.outcome e.inv e.inv_time e.resp
+    e.resp_time

@@ -7,7 +7,16 @@
     B ([A <_H B] in Herlihy–Wing terms) exactly when [A.resp < B.inv];
     intervals that overlap in stamps were genuinely concurrent in the
     simulation, because a stamp gap means the engine interleaved other
-    steps between them. *)
+    steps between them.
+
+    Endpoints are also stamped with virtual time, so a violation report
+    can say {e when} the offending window opened and closed — which is
+    what makes failing schedules minimizable.
+
+    Recording additionally labels the simulation engine's pending events
+    with the operation that owns them (see {!Prism_sim.Engine.annotate}),
+    so a schedule explorer can tell which operations a tie-break decision
+    actually orders and prune Mazurkiewicz-equivalent interleavings. *)
 
 type call =
   | Put of string * bytes
@@ -28,6 +37,8 @@ type event = {
   outcome : outcome;
   inv : int;  (** logical stamp at invocation *)
   resp : int;  (** logical stamp at response *)
+  inv_time : float;  (** virtual time at invocation *)
+  resp_time : float;  (** virtual time at response *)
 }
 
 type t
@@ -49,6 +60,19 @@ val events : t -> event array
 
 (** Number of recorded invocations (including any still in flight). *)
 val length : t -> int
+
+(** [op_label ~tid call] packs (key hash, tid, kind) into a nonzero
+    scheduling label for {!Prism_sim.Engine.annotate}. Key identity is a
+    hash, so distinct keys may (rarely) share a conflict class — always
+    conservative for dependency analysis. *)
+val op_label : tid:int -> call -> int
+
+(** [conflicting a b] is the dependency relation over scheduling labels:
+    true when reordering two events with these labels could change the
+    outcome — same-key with at least one writer, any write against a
+    scan, or either label unlabelled ([0], assumed to touch anything).
+    Two reads, two scans, or operations on different keys commute. *)
+val conflicting : int -> int -> bool
 
 val pp_call : Format.formatter -> call -> unit
 

@@ -204,6 +204,22 @@ let check ?(init = fun _ -> None) events =
   keys (project events)
 
 let pp_violation fmt v =
+  (* The violating window in virtual time: from the first involved
+     invocation to the last involved response. Points a debugger at the
+     slice of the schedule worth replaying. *)
+  (match v.ops with
+  | [] -> ()
+  | ops ->
+      let lo =
+        List.fold_left
+          (fun acc e -> min acc e.History.inv_time)
+          infinity ops
+      and hi =
+        List.fold_left
+          (fun acc e -> max acc e.History.resp_time)
+          neg_infinity ops
+      in
+      Format.fprintf fmt "window [%.6fs, %.6fs] " lo hi);
   Format.fprintf fmt "@[<v>%s@,%a@]" v.reason
     (Format.pp_print_list History.pp_event)
     v.ops

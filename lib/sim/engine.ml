@@ -1,7 +1,10 @@
+type alt = { seq : int; label : int }
+
 type tie_break =
   | Fifo
   | Seeded of int64
   | Replay of int array
+  | Guided of (alt array -> int)
 
 (* Resolved form of the policy: [Seeded] carries its RNG stream, [Replay]
    its cursor. *)
@@ -9,18 +12,27 @@ type policy =
   | P_fifo
   | P_seeded of Rng.t
   | P_replay of { choices : int array; mutable pos : int }
+  | P_guided of (alt array -> int)
+
+(* A queued event: the action plus the scheduling label it inherited from
+   the context that enqueued it (see [annotate]). *)
+type event = { action : unit -> unit; label : int }
 
 type t = {
   mutable now : float;
   mutable seq : int;
   mutable stopped : bool;
   mutable executed : int;
-  events : (unit -> unit) Heap.t;
+  events : event Heap.t;
   mutable policy : policy;
   mutable choices_rev : int list;
       (* tie-break decisions, newest first; recorded only under a
          non-FIFO policy so the hot path stays allocation-free *)
   mutable n_choices : int;
+  mutable cur_label : int;
+      (* label of the context currently executing; newly enqueued events
+         inherit it, and it is restored from the event record whenever an
+         event starts, so a label sticks to a continuation chain *)
 }
 
 type _ Effect.t +=
@@ -42,22 +54,29 @@ let create () =
     policy = P_fifo;
     choices_rev = [];
     n_choices = 0;
+    cur_label = 0;
   }
 
 let set_tie_break t = function
   | Fifo -> t.policy <- P_fifo
   | Seeded seed -> t.policy <- P_seeded (Rng.create seed)
   | Replay choices -> t.policy <- P_replay { choices; pos = 0 }
+  | Guided f -> t.policy <- P_guided f
 
 let recorded_choices t = Array.of_list (List.rev t.choices_rev)
 
 let now t = t.now
 
-let enqueue t ~at f =
+let annotate t label = t.cur_label <- label
+
+let annotation t = t.cur_label
+
+let enqueue ?label t ~at f =
   assert (at >= t.now);
+  let label = match label with None -> t.cur_label | Some l -> l in
   let seq = t.seq in
   t.seq <- seq + 1;
-  Heap.push t.events ~time:at ~seq f
+  Heap.push t.events ~time:at ~seq { action = f; label }
 
 let schedule t ~after f = enqueue t ~at:(t.now +. after) f
 
@@ -81,10 +100,14 @@ let handler t =
         Some
           (fun k ->
             let resumed = ref false in
+            (* The continuation belongs to the suspended context, so its
+               resume event keeps that context's label even when resume is
+               called from a differently-labelled completion. *)
+            let label = engine.cur_label in
             register (fun () ->
                 if !resumed then invalid_arg "Engine: resume called twice";
                 resumed := true;
-                enqueue engine ~at:engine.now (fun () ->
+                enqueue ~label engine ~at:engine.now (fun () ->
                     resume_continuation t k)))
     | _ -> None
   in
@@ -97,10 +120,11 @@ let spawn t ?at f =
 (* Pop the next event under the active tie-break policy. FIFO is the
    plain heap pop. Otherwise the whole tie set (all events at the minimum
    time, in seq order) is drawn, one member is chosen — uniformly from
-   the seeded stream, or by the recorded decision — and the rest are
-   pushed back with their original seq, preserving their relative order.
-   Decisions are recorded only for tie sets larger than one, so a replay
-   consumes them at exactly the positions the recording produced them. *)
+   the seeded stream, by the recorded decision, or by the guided
+   callback — and the rest are pushed back with their original seq,
+   preserving their relative order. Decisions are recorded only for tie
+   sets larger than one, so a replay consumes them at exactly the
+   positions the recording produced them. *)
 let pop_next t =
   match t.policy with
   | P_fifo -> Heap.pop_min t.events
@@ -136,6 +160,14 @@ let pop_next t =
                   in
                   r.pos <- r.pos + 1;
                   if c < 0 || c >= !n then 0 else c
+              | P_guided f ->
+                  let alts =
+                    Array.map (fun (_, seq, ev) -> { seq; label = ev.label }) arr
+                  in
+                  let c = f alts in
+                  if c < 0 || c >= !n then
+                    invalid_arg "Engine: guided tie-break chose out of range";
+                  c
             in
             t.choices_rev <- choice :: t.choices_rev;
             t.n_choices <- t.n_choices + 1;
@@ -159,15 +191,17 @@ let run ?(until = infinity) t =
     | Some _ ->
         (match pop_next t with
         | None -> assert false
-        | Some (time, _, action) ->
+        | Some (time, _, ev) ->
             t.now <- time;
             t.executed <- t.executed + 1;
+            t.cur_label <- ev.label;
             let saved = !current in
             current := Some t;
             Fun.protect
               ~finally:(fun () -> current := saved)
-              action)
+              ev.action)
   done;
+  t.cur_label <- 0;
   t.now
 
 let stop t = t.stopped <- true

@@ -17,6 +17,13 @@
 
 type t
 
+(** One member of a same-instant tie set, as presented to a [Guided]
+    tie-break callback: the event's unique scheduling sequence number
+    (stable identity — a pushed-back event keeps its [seq]) and the
+    scheduling label it inherited from the context that enqueued it (see
+    {!annotate}; [0] means unlabelled). *)
+type alt = { seq : int; label : int }
+
 (** Policy for ordering events that fire at the same virtual instant.
 
     - [Fifo] (the default): scheduling order, the historical behaviour.
@@ -26,11 +33,16 @@ type t
     - [Replay choices]: re-apply decisions recorded by a previous run
       (see {!recorded_choices}); out-of-range or exhausted entries fall
       back to FIFO, so a replay against a diverged simulation degrades
-      rather than crashes. *)
+      rather than crashes.
+    - [Guided f]: call [f] with the tie set (in scheduling order) at every
+      decision point of size >= 2 and follow its choice — the hook a
+      systematic explorer (DPOR) uses to own the schedule. [f] must
+      return a valid index into its argument. *)
 type tie_break =
   | Fifo
   | Seeded of int64
   | Replay of int array
+  | Guided of (alt array -> int)
 
 (** [set_tie_break t p] installs the tie-break policy. Decisions made
     under a non-FIFO policy are recorded and can be fetched with
@@ -41,6 +53,17 @@ val set_tie_break : t -> tie_break -> unit
     in the order they were taken — feed to [Replay] to reproduce the
     schedule without the seed. *)
 val recorded_choices : t -> int array
+
+(** [annotate t label] labels the currently executing context: events it
+    enqueues from now on (delays, suspend resumes, spawns) carry [label],
+    and a continuation chain keeps its label across resumptions. The
+    checker stamps each KV operation's label around its execution so tie
+    sets expose which operation each pending event belongs to. [0] means
+    unlabelled. *)
+val annotate : t -> int -> unit
+
+(** The label of the currently executing context (0 when unlabelled). *)
+val annotation : t -> int
 
 (** [create ()] makes an empty simulation at time [0.0]. *)
 val create : unit -> t

@@ -76,6 +76,23 @@ let test_replay_exhausted_degrades () =
   let t_replay, _, _ = tie_heavy_trace (Engine.Replay [||]) in
   Alcotest.(check string) "exhausted replay = FIFO" t_fifo t_replay
 
+let test_guided_tie () =
+  (* Guided choosing index 0 everywhere IS the FIFO schedule; choosing the
+     last member diverges, and the recorded decisions replay it. *)
+  let t_fifo, _, _ = tie_heavy_trace Engine.Fifo in
+  let t_first, _, _ =
+    tie_heavy_trace (Engine.Guided (fun _ -> 0))
+  in
+  Alcotest.(check string) "guided-first is FIFO" t_fifo t_first;
+  let t_last, _, choices =
+    tie_heavy_trace (Engine.Guided (fun alts -> Array.length alts - 1))
+  in
+  Alcotest.(check bool) "guided-last diverges" true (t_last <> t_fifo);
+  Alcotest.(check bool) "guided decisions recorded" true
+    (Array.length choices > 0);
+  let t_replay, _, _ = tie_heavy_trace (Engine.Replay choices) in
+  Alcotest.(check string) "guided schedule replays" t_last t_replay
+
 let test_ivar_timeout_no_leak () =
   ignore
     (in_sim (fun _engine ->
@@ -91,7 +108,18 @@ let test_ivar_timeout_no_leak () =
 (* ---- linearizability checker ---- *)
 
 let ev op tid call outcome inv resp =
-  { History.op; tid; call; outcome; inv; resp }
+  (* Synthetic histories: derive virtual-time endpoints from the logical
+     stamps — the checker only reads them for reporting. *)
+  {
+    History.op;
+    tid;
+    call;
+    outcome;
+    inv;
+    resp;
+    inv_time = float_of_int inv;
+    resp_time = float_of_int resp;
+  }
 
 let v1 = Bytes.of_string "v1-payload"
 
@@ -294,6 +322,243 @@ let test_explore_kvell () =
   Alcotest.(check bool) "kvell linearizable" true
     (report.Explore.failures = [])
 
+(* ---- DPOR exploration ---- *)
+
+(* A lockstep micro-program: [threads] processes, each executing a fixed
+   list of (key, is_write) steps separated by equal delays, so the two
+   threads' step [i] always land in the same tie set. The schedule space
+   is exactly one binary decision per instant, which makes the
+   Mazurkiewicz classes countable by hand: instants whose two steps
+   conflict (same key, >= 1 writer) contribute a factor of 2, independent
+   instants contribute 1. *)
+let micro_key k = Printf.sprintf "k%d" k
+
+let micro_call k w =
+  if w then History.Put (micro_key k, Bytes.create 1)
+  else History.Get (micro_key k)
+
+let micro_run progs ~tie =
+  let engine = Engine.create () in
+  Engine.set_tie_break engine tie;
+  let trace = ref [] in
+  List.iteri
+    (fun tid prog ->
+      Engine.spawn engine (fun () ->
+          List.iter
+            (fun (k, w) ->
+              Engine.annotate engine (History.op_label ~tid (micro_call k w));
+              Engine.delay 1.0;
+              trace := (tid, k, w) :: !trace;
+              Engine.annotate engine 0)
+            prog))
+    progs;
+  ignore (Engine.run engine);
+  List.rev !trace
+
+(* Canonical form of a micro-program trace: within each instant's pair,
+   independent steps are normalized to tid order (they commute), while a
+   conflicting pair keeps its execution order. Two traces are
+   Mazurkiewicz-equivalent iff their canonical forms are equal. *)
+let micro_canonical trace =
+  let rec pairs = function
+    | a :: b :: rest -> (a, b) :: pairs rest
+    | [] -> []
+    | [ _ ] -> Alcotest.fail "odd trace length"
+  in
+  List.map
+    (fun (((t1, k1, w1) as a), ((t2, _, _) as b)) ->
+      let (_, k2, w2) = b in
+      let dep = k1 = k2 && (w1 || w2) in
+      if dep || t1 <= t2 then (a, b) else (b, a))
+    (pairs trace)
+
+module Trace_set = Set.Make (struct
+  type t = ((int * int * bool) * (int * int * bool)) list
+
+  let compare = compare
+end)
+
+let micro_decode bits =
+  (* 6 bits per thread: 3 steps x (key bit, write bit) *)
+  List.init 3 (fun i ->
+      ((bits lsr (2 * i)) land 1, (bits lsr ((2 * i) + 1)) land 1 = 1))
+
+let test_dpor_micro_exact =
+  qcase ~count:40 "DPOR = brute force on lockstep micro-programs"
+    QCheck.(pair (int_bound 63) (int_bound 63))
+    (fun (b0, b1) ->
+      let progs = [ micro_decode b0; micro_decode b1 ] in
+      let run ~choose = micro_run progs ~tie:(Engine.Guided choose) in
+      let dpor =
+        Dpor.explore ~max_classes:64 ~dependent:History.conflicting run
+      in
+      let dpor' =
+        Dpor.explore ~max_classes:64 ~dependent:History.conflicting run
+      in
+      let full =
+        Dpor.explore ~full:true ~max_classes:4096
+          ~dependent:History.conflicting run
+      in
+      let canon report =
+        List.map (fun c -> micro_canonical c.Dpor.result) report.Dpor.classes
+      in
+      let dpor_canon = canon dpor in
+      let dpor_set = Trace_set.of_list dpor_canon in
+      let full_set = Trace_set.of_list (canon full) in
+      let expected =
+        List.fold_left2
+          (fun n (k1, w1) (k2, w2) ->
+            if k1 = k2 && (w1 || w2) then 2 * n else n)
+          1 (List.nth progs 0) (List.nth progs 1)
+      in
+      dpor.Dpor.complete && full.Dpor.complete
+      (* every maximal interleaving of dependent steps exactly once *)
+      && List.length dpor_canon = Trace_set.cardinal dpor_set
+      && Trace_set.equal dpor_set full_set
+      && dpor.Dpor.explored = expected
+      (* and deterministically so *)
+      && canon dpor' = dpor_canon)
+
+(* The PR 1 regression suite needed 3 blind seeded schedules to catch the
+   skip-SVC-invalidation fault on its config. The budget assertion here:
+   on a config where blind sampling still needs all 3 of those schedules,
+   DPOR's systematic walk finds the same violation within a 2-class
+   budget — strictly cheaper. The found failure must replay from its
+   recorded decision list, and its report must carry the virtual-time
+   window stamps. *)
+let svc_budget_cfg =
+  {
+    Explore.default with
+    Explore.threads = 4;
+    records = 128;
+    value_size = 64;
+    ops_per_thread = 6;
+    theta = 0.95;
+    fault = Explore.Skip_svc_invalidate;
+    seed = 33L;
+  }
+
+let blind_budget = 3 (* schedules PR 1's blind suite was allowed *)
+
+let test_dpor_svc_budget () =
+  let dpor_budget = 2 in
+  Alcotest.(check bool) "dpor budget is under the blind budget" true
+    (dpor_budget < blind_budget);
+  let rep =
+    Explore.run_dpor ~stop_on_failure:true ~max_classes:dpor_budget
+      svc_budget_cfg
+  in
+  match rep.Explore.dpor_failures with
+  | [] ->
+      Alcotest.failf "dpor missed the SVC fault within %d classes" dpor_budget
+  | f :: _ ->
+      let blind = Explore.run ~schedules:blind_budget svc_budget_cfg in
+      let blind_runs =
+        match blind.Explore.failures with
+        | [] ->
+            Alcotest.failf "blind sampling missed the fault in %d schedules"
+              blind_budget
+        | g :: _ -> g.Explore.stats.Explore.index + 1
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "dpor run %d < blind %d schedules"
+           f.Explore.found_at_run blind_runs)
+        true
+        (f.Explore.found_at_run < blind_runs);
+      (* the decision list is a standalone reproducer *)
+      (match Explore.replay_choices svc_budget_cfg ~choices:f.Explore.choices with
+      | Some _ -> ()
+      | None -> Alcotest.fail "dpor failure does not replay from its choices");
+      (* virtual-time endpoints surface in the report *)
+      Alcotest.(check bool) "violation reports its virtual-time window" true
+        (String.length f.Explore.violation >= 7
+        && String.sub f.Explore.violation 0 7 = "window ")
+
+(* Same budget argument for the crash-consistency fault: skip-HSIT-flush
+   only manifests across a crash, so the DPOR walk drives the
+   crash-at-boundary run via [prism_crash_once ~tie:(Guided _)]. PR 1's
+   sweep scanned every [crash_every]-th persist boundary; pinning one
+   boundary and exploring schedule classes finds the lost write within
+   the same 2-class budget. *)
+let hsit_sweep_cfg =
+  {
+    Crash_sweep.default with
+    Crash_sweep.threads = 2;
+    keys_per_thread = 12;
+    ops_per_thread = 30;
+    crash_every = 40;
+    seed = 9L;
+    fault_skip_hsit_flush = true;
+  }
+
+let test_dpor_hsit_budget () =
+  let dpor_budget = 2 in
+  Alcotest.(check bool) "dpor budget is under the blind budget" true
+    (dpor_budget < blind_budget);
+  let run ~choose =
+    match
+      Crash_sweep.prism_crash_once
+        ~tie:(Engine.Guided choose)
+        hsit_sweep_cfg ~boundary:`Nvm_persist ~target:11
+    with
+    | `Crashed violations -> List.length violations
+    | `Completed _ | `Crashed_before_store -> 0
+  in
+  let rep =
+    Dpor.explore
+      ~stop_on:(fun n -> n > 0)
+      ~max_classes:dpor_budget ~dependent:History.conflicting run
+  in
+  match List.find_opt (fun c -> c.Dpor.result > 0) rep.Dpor.classes with
+  | None ->
+      Alcotest.failf "dpor missed the HSIT fault within %d classes" dpor_budget
+  | Some c ->
+      Alcotest.(check bool) "found within budget runs" true
+        (c.Dpor.run <= dpor_budget)
+
+(* ---- shrinking ---- *)
+
+(* A config where the SVC fault is genuinely schedule-dependent: the FIFO
+   schedule passes, blind sampling fails at its 5th schedule, and the
+   recorded failing schedule carries hundreds of non-FIFO tie decisions —
+   of which exactly one is load-bearing. *)
+let shrink_cfg = { svc_budget_cfg with Explore.seed = 5L }
+
+let test_shrink_svc () =
+  Alcotest.(check bool) "FIFO schedule passes on this config" true
+    (Explore.replay_choices shrink_cfg ~choices:[||] = None);
+  let rep = Explore.run ~schedules:8 shrink_cfg in
+  let failure =
+    match rep.Explore.failures with
+    | [] -> Alcotest.fail "expected a seeded schedule to fail"
+    | f :: _ -> f
+  in
+  let choices, violation =
+    Explore.record shrink_cfg ~tie_seed:failure.Explore.stats.Explore.tie_seed
+  in
+  Alcotest.(check bool) "recorded schedule reproduces the violation" true
+    (violation <> None);
+  let non_fifo =
+    Array.fold_left (fun n c -> if c <> 0 then n + 1 else n) 0 choices
+  in
+  Alcotest.(check bool) "recording departs from FIFO in many places" true
+    (non_fifo > 100);
+  match Explore.shrink shrink_cfg ~choices with
+  | None -> Alcotest.fail "shrink lost the violation"
+  | Some s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "minimal schedule has <= 2 non-FIFO choices (got %d)"
+           s.Explore.non_fifo)
+        true
+        (s.Explore.non_fifo <= 2 && s.Explore.non_fifo >= 1);
+      Alcotest.(check bool)
+        (Printf.sprintf "shrinking stayed within the replay cap (%d)"
+           s.Explore.replays)
+        true (s.Explore.replays <= 200);
+      (* the minimal list is a standalone reproducer *)
+      Alcotest.(check bool) "minimal choices replay to a violation" true
+        (Explore.replay_choices shrink_cfg ~choices:s.Explore.minimal <> None)
+
 (* ---- crash sweep ---- *)
 
 let sweep_cfg =
@@ -333,6 +598,35 @@ let test_sweep_catches_lost_writes () =
   Alcotest.(check bool) "disabled HSIT flush loses acknowledged writes" true
     (report.Crash_sweep.violations <> [])
 
+let lsm_sweep_cfg =
+  { sweep_cfg with Crash_sweep.store = `Lsm; crash_every = 7 }
+
+let test_sweep_lsm () =
+  let report = Crash_sweep.run lsm_sweep_cfg in
+  Alcotest.(check bool) "injected crashes at both boundary kinds" true
+    (report.Crash_sweep.crash_points > 0
+    && List.mem_assoc "wal-append" report.Crash_sweep.boundaries
+    && List.mem_assoc "sstable-publish" report.Crash_sweep.boundaries);
+  match report.Crash_sweep.violations with
+  | [] -> ()
+  | v :: _ ->
+      Alcotest.failf "LSM WAL recovery violation at %s boundary %d: %s"
+        v.Crash_sweep.boundary v.Crash_sweep.crash_point v.Crash_sweep.detail
+
+let test_sweep_lsm_no_wal () =
+  (* Without the WAL, a crash at the first SSTable publish loses every
+     acknowledged write still sitting in the volatile memtable. *)
+  let report =
+    Crash_sweep.run
+      { lsm_sweep_cfg with Crash_sweep.lsm_wal = false; crash_every = 1 }
+  in
+  Alcotest.(check bool) "WAL-less LSM loses acknowledged writes" true
+    (report.Crash_sweep.violations <> []);
+  Alcotest.(check bool) "losses are at the publish boundary" true
+    (List.for_all
+       (fun v -> v.Crash_sweep.boundary = "sstable-publish")
+       report.Crash_sweep.violations)
+
 let () =
   Alcotest.run "check"
     [
@@ -345,6 +639,7 @@ let () =
           case "replay reproduces" test_replay_reproduces;
           case "exhausted replay degrades to fifo"
             test_replay_exhausted_degrades;
+          case "guided tie-break" test_guided_tie;
           case "ivar timeout leaves no waiters" test_ivar_timeout_no_leak;
         ] );
       ( "linearize",
@@ -364,10 +659,19 @@ let () =
           case "stale-cache fault caught" test_explore_catches_stale_cache;
           case "kvell" test_explore_kvell;
         ] );
+      ( "dpor",
+        [
+          test_dpor_micro_exact;
+          case "svc fault within budget" test_dpor_svc_budget;
+          case "hsit fault within budget" test_dpor_hsit_budget;
+        ] );
+      ("shrink", [ case "svc failure shrinks to one choice" test_shrink_svc ]);
       ( "crash-sweep",
         [
           case "prism recovers every point" test_sweep_prism;
           case "kvell recovers every point" test_sweep_kvell;
           case "hsit fault caught" test_sweep_catches_lost_writes;
+          case "lsm wal recovers every point" test_sweep_lsm;
+          case "lsm without wal loses writes" test_sweep_lsm_no_wal;
         ] );
     ]
