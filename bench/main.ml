@@ -53,9 +53,46 @@ let quiesce_in e (kv : Kv.t) =
   Engine.spawn e (fun () -> kv.Kv.quiesce ());
   ignore (Engine.run e)
 
+(* Device counters come from the engine's metric registry, under the
+   store's sanitized name prefix (see Kv.stat_prefix). *)
+let ssd_written e (kv : Kv.t) =
+  Stats.get_int (Engine.stats e) (kv.Kv.stat_prefix ^ ".device.ssd.bytes_written")
+
+(* --stats / --stats-json: harvest each labelled run's registry. *)
+let stats_requested = ref false
+
+let stats_json_path : string option ref = ref None
+
+let collected_stats : (string * string) list ref = ref []
+
+let harvest label e =
+  if !stats_requested || !stats_json_path <> None then begin
+    let reg = Engine.stats e in
+    collected_stats := (label, Stats.to_json reg) :: !collected_stats;
+    if !stats_requested then Format.printf "  [%s registry]@.%a@." label Stats.pp reg
+  end
+
+let write_collected_stats () =
+  match !stats_json_path with
+  | None -> ()
+  | Some path ->
+      let buf = Buffer.create 4096 in
+      Buffer.add_string buf "{";
+      List.iteri
+        (fun i (label, json) ->
+          if i > 0 then Buffer.add_string buf ",";
+          Buffer.add_string buf (Printf.sprintf "\n%S: %s" label json))
+        (List.rev !collected_stats);
+      Buffer.add_string buf "\n}\n";
+      let oc = open_out path in
+      Buffer.output_buffer oc buf;
+      close_out oc;
+      pf "wrote metric registries to %s\n" path
+
 (* Run LOAD then the listed mixes against one store; returns
    (load_result, per-mix results). *)
 let ycsb_suite ?(mixes = Ycsb.all_ycsb) e kv s =
+  let kv = Kv.instrument e kv in
   let load =
     Runner.load e kv ~threads:s.Setup.threads ~records:s.Setup.records
       ~value_size:s.Setup.value_size ~seed:s.Setup.seed
@@ -175,6 +212,7 @@ let fig7 () =
         let e = Engine.create () in
         let kv = make e in
         let load, results = ycsb_suite e kv s in
+        harvest ("fig7." ^ Stats.sanitize name) e;
         pf "  %s done\n%!" name;
         (name, load, results))
       makers
@@ -473,7 +511,7 @@ let fig12 () =
                        ~records:s.Setup.records ~value_size:s.Setup.value_size
                        ~seed:s.Setup.seed);
                   quiesce_in e kv;
-                  let before = kv.Kv.ssd_bytes_written () in
+                  let before = ssd_written e kv in
                   let update_only = { Ycsb.ycsb_a with reads = 0.0; updates = 1.0 } in
                   let r =
                     Runner.run e kv update_only ~threads:s.Setup.threads
@@ -481,7 +519,7 @@ let fig12 () =
                       ~value_size:s.Setup.value_size ~seed:s.Setup.seed
                   in
                   quiesce_in e kv;
-                  let written = kv.Kv.ssd_bytes_written () - before in
+                  let written = ssd_written e kv - before in
                   let app = r.Runner.ops * s.Setup.value_size in
                   Printf.sprintf "%.2f" (float_of_int written /. float_of_int app))
                 [ 0.5; 0.99; 1.2 ]
@@ -721,13 +759,16 @@ let fig17 () =
   ignore
     (Runner.load e kv ~threads:s.Setup.threads ~records:s.Setup.records
        ~value_size:s.Setup.value_size ~seed:s.Setup.seed);
-  let tl = Metric.Timeline.create ~interval:1e-3 in
+  (* Registered in the engine registry, so --stats-json exports the full
+     per-window series under "bench.throughput". *)
+  let tl = Stats.timeline (Engine.stats e) "bench.throughput" ~interval:1e-3 in
   let gc_before = Prism_core.Store.gc_runs store in
   ignore
     (Runner.run ~timeline:tl e kv Ycsb.ycsb_a ~threads:s.Setup.threads
        ~records:s.Setup.records ~ops:s.Setup.ops ~theta:s.Setup.theta
        ~value_size:s.Setup.value_size ~seed:s.Setup.seed);
   let gc_after = Prism_core.Store.gc_runs store in
+  harvest "fig17.prism" e;
   Report.table
     ~title:
       (Printf.sprintf "ops per 1ms window (GC passes during run: %d)"
@@ -1046,6 +1087,7 @@ let run_experiments names with_micro =
       end)
     experiments;
   if with_micro then micro ();
+  write_collected_stats ();
   pf "\nAll experiments done in %.1fs wall.\n" (Unix.gettimeofday () -. t0)
 
 let () =
@@ -1059,16 +1101,34 @@ let () =
   let with_micro =
     Arg.(value & flag & info [ "micro" ] ~doc:"Also run Bechamel microbenchmarks")
   in
-  let main exp scale with_micro =
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print each harvested run's metric registry after the tables")
+  in
+  let stats_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-json" ]
+          ~doc:
+            "Write every harvested run's metric registry to $(docv) as one \
+             JSON object keyed by run label"
+          ~docv:"FILE")
+  in
+  let main exp scale with_micro stats stats_json =
     (match scale with
     | "full" -> scenario := full_scenario
     | "small" -> scenario := small_scenario
     | other -> failwith ("unknown scale: " ^ other));
+    stats_requested := stats;
+    stats_json_path := stats_json;
     run_experiments exp with_micro
   in
   let cmd =
     Cmd.v
       (Cmd.info "prism-bench" ~doc:"Regenerate the paper's tables and figures")
-      Term.(const main $ exp $ scale $ with_micro)
+      Term.(const main $ exp $ scale $ with_micro $ stats $ stats_json)
   in
   exit (Cmd.eval cmd)

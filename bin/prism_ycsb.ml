@@ -61,8 +61,13 @@ let replay_trace engine kv ~threads path =
         (Hist.mean lat /. 1e3)
         (Hist.to_us (Hist.percentile lat 99.0))
 
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
 let run store_name workloads records value_size threads num_ssds theta ops
-    trace_out trace_in =
+    trace_out trace_in stats stats_json chrome_trace =
   let scenario =
     {
       Setup.default_scenario with
@@ -85,7 +90,12 @@ let run store_name workloads records value_size threads num_ssds theta ops
     | other -> failwith ("unknown store: " ^ other)
   in
   let engine = Engine.create () in
-  let kv = make engine in
+  (match chrome_trace with
+  | Some _ ->
+      Span.set_enabled (Engine.spans engine) true;
+      Span.set_keep_events (Engine.spans engine) true
+  | None -> ());
+  let kv = Kv.instrument engine (make engine) in
   Printf.printf "store=%s records=%d value=%dB threads=%d ssds=%d zipf=%.2f\n\n"
     kv.Kv.name records value_size threads num_ssds theta;
   (match trace_out with
@@ -131,9 +141,24 @@ let run store_name workloads records value_size threads num_ssds theta ops
   (match trace_in with
   | Some path -> replay_trace engine kv ~threads path
   | None -> ());
+  let reg = Engine.stats engine in
+  let dev medium =
+    Stats.get_int reg (kv.Kv.stat_prefix ^ ".device." ^ medium ^ ".bytes_written")
+  in
   Printf.printf "\nSSD bytes written: %.1f MB; NVM bytes written: %.1f MB\n"
-    (float_of_int (kv.Kv.ssd_bytes_written ()) /. 1048576.0)
-    (float_of_int (kv.Kv.nvm_bytes_written ()) /. 1048576.0)
+    (float_of_int (dev "ssd") /. 1048576.0)
+    (float_of_int (dev "nvm") /. 1048576.0);
+  if stats then Format.printf "@.%a@." Stats.pp reg;
+  (match stats_json with
+  | Some path ->
+      write_file path (Stats.to_json reg);
+      Printf.printf "wrote metric registry to %s\n" path
+  | None -> ());
+  match chrome_trace with
+  | Some path ->
+      write_file path (Span.to_chrome_json (Engine.spans engine));
+      Printf.printf "wrote Chrome trace to %s\n" path
+  | None -> ()
 
 let () =
   let open Cmdliner in
@@ -175,11 +200,34 @@ let () =
       & opt (some string) None
       & info [ "trace-in" ] ~doc:"Replay a recorded trace after the workloads")
   in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ] ~doc:"Print the full metric registry after the run")
+  in
+  let stats_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-json" ] ~doc:"Write the metric registry as JSON to $(docv)"
+          ~docv:"FILE")
+  in
+  let chrome_trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome-trace" ]
+          ~doc:
+            "Collect virtual-time spans and write a Chrome trace_event file \
+             to $(docv)"
+          ~docv:"FILE")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "prism-ycsb" ~doc:"Run YCSB workloads on simulated KV stores")
       Term.(
         const run $ store $ workload $ records $ value_size $ threads $ ssds
-        $ theta $ ops $ trace_out $ trace_in)
+        $ theta $ ops $ trace_out $ trace_in $ stats $ stats_json
+        $ chrome_trace)
   in
   exit (Cmd.eval cmd)

@@ -238,6 +238,18 @@ let create engine ~cost ~rng ~ssd_specs ~workers_per_ssd ~queue_depth
   in
   let t = { engine; cost; queue_depth; workers } in
   Array.iter (fun w -> start_worker t w) workers;
+  let reg = Engine.stats engine in
+  Stats.gauge_int reg "kvell.cache.hits" (fun () ->
+      Array.fold_left (fun acc w -> acc + Lru.hits w.cache) 0 t.workers);
+  Stats.gauge_int reg "kvell.cache.misses" (fun () ->
+      Array.fold_left (fun acc w -> acc + Lru.misses w.cache) 0 t.workers);
+  List.iteri
+    (fun i device ->
+      Model.register_stats device reg
+        ~prefix:(Printf.sprintf "kvell.device.ssd.%d" i))
+    devices;
+  Stats.gauge_int reg "kvell.device.ssd.bytes_written" (fun () ->
+      List.fold_left (fun acc d -> acc + Model.bytes_written d) 0 devices);
   t
 
 let workers t = Array.length t.workers

@@ -504,6 +504,20 @@ let create engine cfg ~cost ~rng ~wal ~l0 ~levels =
       write_lock = Sync.Mutex.create ();
     }
   in
+  (* Publish under the variant's sanitized name ("rocksdb-nvm.*", ...);
+     several trees on one engine keep distinct prefixes as long as their
+     names differ. *)
+  let reg = Engine.stats engine in
+  let p name = Stats.sanitize cfg.name ^ "." ^ name in
+  Stats.register_counter reg (p "compactions") t.compactions;
+  Stats.register_counter reg (p "stalls") t.stalls;
+  Stats.gauge_int reg (p "cache.hits") (fun () -> Lru.hits t.cache);
+  Stats.gauge_int reg (p "cache.misses") (fun () -> Lru.misses t.cache);
+  Stats.gauge_int reg (p "wal.appends") (fun () -> t.wal_appends);
+  Stats.gauge_int reg (p "sstable.publishes") (fun () -> t.publishes);
+  Stats.gauge_int reg (p "l0.tables") (fun () -> List.length t.l0);
+  Stats.gauge_int reg (p "bytes_written") (fun () ->
+      Target.bytes_written t.level_target);
   start t;
   t
 

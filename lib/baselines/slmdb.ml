@@ -45,6 +45,17 @@ let create engine ~cost ~rng ~nvm ~data ~memtable_bytes ~page_cache_bytes
       Lru.create ~capacity:(max 4096 page_cache_bytes) ~weight:(fun b -> b) ();
     compactions = Metric.Counter.create ();
   }
+  |> fun t ->
+  let reg = Engine.stats engine in
+  Stats.register_counter reg "slm-db.compactions" t.compactions;
+  Stats.gauge_int reg "slm-db.cache.hits" (fun () -> Lru.hits t.cache);
+  Stats.gauge_int reg "slm-db.cache.misses" (fun () -> Lru.misses t.cache);
+  Stats.gauge_int reg "slm-db.tables" (fun () -> Hashtbl.length t.tables);
+  Stats.gauge_int reg "slm-db.device.ssd.bytes_written" (fun () ->
+      Target.bytes_written t.data);
+  Stats.gauge_int reg "slm-db.device.nvm.bytes_written" (fun () ->
+      Model.bytes_written t.nvm);
+  t
 
 let table_count t = Hashtbl.length t.tables
 

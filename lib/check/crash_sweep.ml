@@ -329,7 +329,7 @@ let lsm_instance cfg engine =
     Prism_baselines.Lsm_tree.create engine lcfg ~cost:Cost.default
       ~rng:(Rng.create cfg.seed) ~wal:target ~l0:target ~levels:target
   in
-  (tree, Kv.of_lsm tree ~nvm_written:(fun () -> 0))
+  (tree, Kv.of_lsm tree)
 
 type lsm_boundary = Wal_append | Sstable_publish
 

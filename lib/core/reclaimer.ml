@@ -77,6 +77,7 @@ let reclaim_now t =
   if t.in_pass then ()
   else begin
     t.in_pass <- true;
+    Engine.with_span t.engine "reclaimer.pass" @@ fun () ->
     Fun.protect
       ~finally:(fun () -> t.in_pass <- false)
       (fun () ->

@@ -3,14 +3,29 @@ open Prism_device
 open Prism_media
 
 type stats = {
-  mutable puts : int;
-  mutable gets : int;
-  mutable deletes : int;
-  mutable scans : int;
-  mutable svc_hits : int;
-  mutable pwb_hits : int;
-  mutable vs_reads : int;
-  mutable misses : int;
+  puts : int;
+  gets : int;
+  deletes : int;
+  scans : int;
+  svc_hits : int;
+  pwb_hits : int;
+  vs_reads : int;
+  misses : int;
+}
+
+(* The live counters behind [stats] snapshots. Registered by reference in
+   the engine's metric registry (under "prism.*") so harness code reads
+   them uniformly; the hot paths keep bumping plain counters. *)
+type op_counters = {
+  c_puts : Metric.Counter.t;
+  c_gets : Metric.Counter.t;
+  c_deletes : Metric.Counter.t;
+  c_scans : Metric.Counter.t;
+  c_svc_hits : Metric.Counter.t;
+  c_pwb_hits : Metric.Counter.t;
+  c_vs_reads : Metric.Counter.t;
+  c_misses : Metric.Counter.t;
+  c_put_bytes : Metric.Counter.t; (* application value bytes: WAF denominator *)
 }
 
 type read_path = Tc of Tcq.t | Ta of Ta_batcher.t
@@ -71,10 +86,21 @@ type t = {
   reclaimers : Reclaimer.t array;
   svc : Svc.t option;
   rng : Rng.t;
-  stats : stats;
+  ctr : op_counters;
 }
 
-let stats t = t.stats
+let stats t =
+  let v = Metric.Counter.value in
+  {
+    puts = v t.ctr.c_puts;
+    gets = v t.ctr.c_gets;
+    deletes = v t.ctr.c_deletes;
+    scans = v t.ctr.c_scans;
+    svc_hits = v t.ctr.c_svc_hits;
+    pwb_hits = v t.ctr.c_pwb_hits;
+    vs_reads = v t.ctr.c_vs_reads;
+    misses = v t.ctr.c_misses;
+  }
 
 let config t = t.cfg
 
@@ -154,6 +180,104 @@ let reorganize_members t members =
         else batch_up (m :: acc) (acc_bytes + sz) rest
   in
   batch_up [] 0 members
+
+let length t = t.index.ki_length ()
+
+let nvm_index_bytes t = t.index.ki_bytes () + Hsit.bytes t.hsit
+
+let ssd_bytes_written t =
+  Array.fold_left
+    (fun acc vs -> acc + Model.bytes_written (Value_storage.device vs))
+    0 t.vss
+
+let nvm_bytes_written t = Model.bytes_written (Nvm.device t.nvm)
+
+let gc_runs t =
+  Array.fold_left (fun acc vs -> acc + Value_storage.gc_runs vs) 0 t.vss
+
+let reclaim_stats t =
+  Array.fold_left
+    (fun (m, d) r ->
+      (m + Reclaimer.reclaimed_values r, d + Reclaimer.skipped_dead r))
+    (0, 0) t.reclaimers
+
+let mean_read_batch t =
+  let reqs, batches =
+    Array.fold_left
+      (fun (r, b) -> function
+        | Tc tcq -> (r + Tcq.requests tcq, b + Tcq.batches tcq)
+        | Ta ta -> (r + Ta_batcher.requests ta, b + Ta_batcher.batches ta))
+      (0, 0) t.read_paths
+  in
+  if batches = 0 then 0.0 else float_of_int reqs /. float_of_int batches
+
+(* Publish every subsystem's accounting in the engine's registry under
+   "prism.*". Counters are adopted by reference (hot paths keep their
+   fields); cross-instance aggregates are gauges sampled at snapshot
+   time. If several Prism stores share one engine, the last one created
+   owns the names. *)
+let register_telemetry t =
+  let reg = Engine.stats t.engine in
+  let c = t.ctr in
+  Stats.register_counter reg "prism.ops.puts" c.c_puts;
+  Stats.register_counter reg "prism.ops.gets" c.c_gets;
+  Stats.register_counter reg "prism.ops.deletes" c.c_deletes;
+  Stats.register_counter reg "prism.ops.scans" c.c_scans;
+  Stats.register_counter reg "prism.ops.misses" c.c_misses;
+  Stats.register_counter reg "prism.ops.put_bytes" c.c_put_bytes;
+  Stats.register_counter reg "prism.svc.hits" c.c_svc_hits;
+  Stats.register_counter reg "prism.pwb.hits" c.c_pwb_hits;
+  Stats.register_counter reg "prism.vs.reads" c.c_vs_reads;
+  (match t.svc with
+  | Some svc -> Svc.register_stats svc reg ~prefix:"prism.svc"
+  | None -> ());
+  Array.iteri
+    (fun i rp ->
+      let prefix = Printf.sprintf "prism.tcq.%d" i in
+      match rp with
+      | Tc tcq -> Tcq.register_stats tcq reg ~prefix
+      | Ta ta -> Ta_batcher.register_stats ta reg ~prefix)
+    t.read_paths;
+  Stats.gauge_int reg "prism.tcq.batches" (fun () ->
+      Array.fold_left
+        (fun acc -> function
+          | Tc q -> acc + Tcq.batches q
+          | Ta a -> acc + Ta_batcher.batches a)
+        0 t.read_paths);
+  Stats.gauge_int reg "prism.tcq.requests" (fun () ->
+      Array.fold_left
+        (fun acc -> function
+          | Tc q -> acc + Tcq.requests q
+          | Ta a -> acc + Ta_batcher.requests a)
+        0 t.read_paths);
+  Stats.gauge_float reg "prism.tcq.mean_batch" (fun () -> mean_read_batch t);
+  Array.iter
+    (fun vs ->
+      Value_storage.register_stats vs reg
+        ~prefix:(Printf.sprintf "prism.vs.%d" (Value_storage.id vs)))
+    t.vss;
+  Stats.gauge_int reg "prism.vs_gc.runs" (fun () -> gc_runs t);
+  Stats.gauge_int reg "prism.reclaim.migrated" (fun () ->
+      fst (reclaim_stats t));
+  Stats.gauge_int reg "prism.reclaim.dead" (fun () -> snd (reclaim_stats t));
+  Stats.gauge_int reg "prism.pwb.used_bytes" (fun () ->
+      Array.fold_left (fun acc p -> acc + Pwb.used p) 0 t.pwbs);
+  Stats.gauge_float reg "prism.pwb.max_utilization" (fun () ->
+      Array.fold_left (fun acc p -> Float.max acc (Pwb.utilization p)) 0.0
+        t.pwbs);
+  Stats.gauge_int reg "prism.index.entries" (fun () -> length t);
+  Stats.gauge_int reg "prism.index.nvm_bytes" (fun () -> nvm_index_bytes t);
+  Nvm.register_stats t.nvm reg ~prefix:"prism.device.nvm";
+  Stats.gauge_int reg "prism.device.ssd.bytes_written" (fun () ->
+      ssd_bytes_written t);
+  Stats.gauge_int reg "prism.device.ssd.bytes_read" (fun () ->
+      Array.fold_left
+        (fun acc vs -> acc + Model.bytes_read (Value_storage.device vs))
+        0 t.vss);
+  Stats.gauge_float reg "prism.device.ssd.waf" (fun () ->
+      let app = Metric.Counter.value c.c_put_bytes in
+      if app = 0 then 0.0
+      else float_of_int (ssd_bytes_written t) /. float_of_int app)
 
 let create engine cfg =
   Config.validate cfg;
@@ -245,16 +369,17 @@ let create engine cfg =
       reclaimers;
       svc;
       rng;
-      stats =
+      ctr =
         {
-          puts = 0;
-          gets = 0;
-          deletes = 0;
-          scans = 0;
-          svc_hits = 0;
-          pwb_hits = 0;
-          vs_reads = 0;
-          misses = 0;
+          c_puts = Metric.Counter.create ();
+          c_gets = Metric.Counter.create ();
+          c_deletes = Metric.Counter.create ();
+          c_scans = Metric.Counter.create ();
+          c_svc_hits = Metric.Counter.create ();
+          c_pwb_hits = Metric.Counter.create ();
+          c_vs_reads = Metric.Counter.create ();
+          c_misses = Metric.Counter.create ();
+          c_put_bytes = Metric.Counter.create ();
         };
     }
   in
@@ -266,40 +391,11 @@ let create engine cfg =
       Value_storage.start_gc vs ~relocate:(fun ~hsit_id ~from_ ~to_ ->
           Hsit.update_primary hsit hsit_id ~expect:from_ to_))
     vss;
+  register_telemetry t;
   t
 
-let length t = t.index.ki_length ()
-
-let nvm_index_bytes t = t.index.ki_bytes () + Hsit.bytes t.hsit
-
-let ssd_bytes_written t =
-  Array.fold_left
-    (fun acc vs -> acc + Model.bytes_written (Value_storage.device vs))
-    0 t.vss
-
-let nvm_bytes_written t = Model.bytes_written (Nvm.device t.nvm)
-
-let gc_runs t =
-  Array.fold_left (fun acc vs -> acc + Value_storage.gc_runs vs) 0 t.vss
-
-let reclaim_stats t =
-  Array.fold_left
-    (fun (m, d) r ->
-      (m + Reclaimer.reclaimed_values r, d + Reclaimer.skipped_dead r))
-    (0, 0) t.reclaimers
-
-let mean_read_batch t =
-  let reqs, batches =
-    Array.fold_left
-      (fun (r, b) -> function
-        | Tc tcq -> (r + Tcq.requests tcq, b + Tcq.batches tcq)
-        | Ta ta -> (r + Ta_batcher.requests ta, b + Ta_batcher.batches ta))
-      (0, 0) t.read_paths
-  in
-  if batches = 0 then 0.0 else float_of_int reqs /. float_of_int batches
-
 let pp_stats fmt t =
-  let st = t.stats in
+  let st = stats t in
   let reads = st.svc_hits + st.pwb_hits + st.vs_reads in
   let pct part =
     if reads = 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int reads
@@ -333,7 +429,8 @@ let invalidate_old t old =
 
 let put t ~tid key value =
   if Bytes.length value = 0 then invalid_arg "Store.put: empty value";
-  t.stats.puts <- t.stats.puts + 1;
+  Metric.Counter.incr t.ctr.c_puts;
+  Metric.Counter.add t.ctr.c_put_bytes (Bytes.length value);
   Epoch.with_pinned t.epoch ~tid (fun () ->
       let found = t.index.ki_find key in
       charge_index t;
@@ -369,7 +466,7 @@ let put t ~tid key value =
           Reclaimer.maybe_trigger t.reclaimers.(tid))
 
 let delete t ~tid key =
-  t.stats.deletes <- t.stats.deletes + 1;
+  Metric.Counter.incr t.ctr.c_deletes;
   Epoch.with_pinned t.epoch ~tid (fun () ->
       (* Lookup and removal happen back-to-back with no suspension point,
          so the id we retire is exactly the binding we removed — a yield
@@ -445,7 +542,7 @@ let rec get_resolved ?(attempt = 0) t ~tid ~id ~key =
   let retry () = get_resolved ~attempt:(attempt + 1) t ~tid ~id ~key in
   match try_svc t ~id with
   | Some value ->
-      t.stats.svc_hits <- t.stats.svc_hits + 1;
+      Metric.Counter.incr t.ctr.c_svc_hits;
       Some value
   | None -> (
       let loc = Hsit.read_primary t.hsit id in
@@ -459,7 +556,7 @@ let rec get_resolved ?(attempt = 0) t ~tid ~id ~key =
             let bid, payload = Pwb.read t.pwbs.(thread) ~voff in
             if bid <> id then retry ()
             else begin
-              t.stats.pwb_hits <- t.stats.pwb_hits + 1;
+              Metric.Counter.incr t.ctr.c_pwb_hits;
               Some payload
             end
           end
@@ -473,7 +570,7 @@ let rec get_resolved ?(attempt = 0) t ~tid ~id ~key =
               | None -> retry ()
               | Some entry -> (
                   read_vs t ~vs entry;
-                  t.stats.vs_reads <- t.stats.vs_reads + 1;
+                  Metric.Counter.incr t.ctr.c_vs_reads;
                   match !cell with
                   | None ->
                       (* The chunk was recycled while the IO was in
@@ -485,18 +582,18 @@ let rec get_resolved ?(attempt = 0) t ~tid ~id ~key =
           | Some _ | None -> retry ()))
 
 let get t ~tid key =
-  t.stats.gets <- t.stats.gets + 1;
+  Metric.Counter.incr t.ctr.c_gets;
   Epoch.with_pinned t.epoch ~tid (fun () ->
       let found = t.index.ki_find key in
       charge_index t;
       match found with
       | None ->
-          t.stats.misses <- t.stats.misses + 1;
+          Metric.Counter.incr t.ctr.c_misses;
           None
       | Some id -> (
           match get_resolved t ~tid ~id ~key with
           | None ->
-              t.stats.misses <- t.stats.misses + 1;
+              Metric.Counter.incr t.ctr.c_misses;
               None
           | Some v -> Some v))
 
@@ -509,7 +606,7 @@ type scan_pending = {
 }
 
 let scan t ~tid key count =
-  t.stats.scans <- t.stats.scans + 1;
+  Metric.Counter.incr t.ctr.c_scans;
   Epoch.with_pinned t.epoch ~tid (fun () ->
       let bindings = t.index.ki_scan ~from:key ~count in
       charge_index t;
@@ -521,7 +618,7 @@ let scan t ~tid key count =
         (fun i (k, id) ->
           match try_svc t ~id with
           | Some value ->
-              t.stats.svc_hits <- t.stats.svc_hits + 1;
+              Metric.Counter.incr t.ctr.c_svc_hits;
               results.(i) <- Some (k, value)
           | None -> (
               let loc = Hsit.read_primary t.hsit id in
@@ -531,7 +628,7 @@ let scan t ~tid key count =
                   if voff >= Pwb.head t.pwbs.(thread) then begin
                     let bid, payload = Pwb.read t.pwbs.(thread) ~voff in
                     if bid = id then begin
-                      t.stats.pwb_hits <- t.stats.pwb_hits + 1;
+                      Metric.Counter.incr t.ctr.c_pwb_hits;
                       results.(i) <- Some (k, payload)
                     end
                   end
@@ -557,7 +654,7 @@ let scan t ~tid key count =
           match reqs with
           | [] -> ()
           | reqs ->
-              t.stats.vs_reads <- t.stats.vs_reads + List.length reqs;
+              Metric.Counter.add t.ctr.c_vs_reads (List.length reqs);
               let by_chunk = Hashtbl.create 8 in
               List.iter
                 (fun (_, sp, _, (gen, chunk, slot)) ->

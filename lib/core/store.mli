@@ -11,16 +11,20 @@
 
 type t
 
-(** Per-operation outcome statistics. *)
+(** Per-operation outcome statistics: an immutable snapshot taken by
+    {!stats} at call time. The live counters are registered (by
+    reference) in the engine's metric registry under ["prism.*"] — see
+    [Prism_sim.Stats] — together with gauges for every subsystem (SVC,
+    PWB, TCQ, Value-Storage GC, reclaimers, devices, WAF). *)
 type stats = {
-  mutable puts : int;
-  mutable gets : int;
-  mutable deletes : int;
-  mutable scans : int;
-  mutable svc_hits : int;
-  mutable pwb_hits : int;
-  mutable vs_reads : int;
-  mutable misses : int;
+  puts : int;
+  gets : int;
+  deletes : int;
+  scans : int;
+  svc_hits : int;
+  pwb_hits : int;
+  vs_reads : int;
+  misses : int;
 }
 
 (** Render an operation-statistics summary (hit breakdown, reclamation

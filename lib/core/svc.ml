@@ -192,6 +192,12 @@ let evictions t = Metric.Counter.value t.evictions
 
 let reorganizations t = Metric.Counter.value t.reorgs
 
+let register_stats t stats ~prefix =
+  Stats.register_counter stats (prefix ^ ".evictions") t.evictions;
+  Stats.register_counter stats (prefix ^ ".reorgs") t.reorgs;
+  Stats.gauge_int stats (prefix ^ ".used_bytes") (fun () -> used_bytes t);
+  Stats.gauge_int stats (prefix ^ ".entries") (fun () -> live_entries t)
+
 (* ---- read path ---- *)
 
 let lookup t ~idx ~hsit_id =

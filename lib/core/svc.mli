@@ -82,5 +82,9 @@ val evictions : t -> int
 
 val reorganizations : t -> int
 
+(** [register_stats t stats ~prefix] publishes eviction/reorg counters
+    (by reference) and occupancy gauges under [<prefix>.*]. *)
+val register_stats : t -> Prism_sim.Stats.t -> prefix:string -> unit
+
 (** Drop every entry (crash simulation: DRAM loses power). *)
 val clear : t -> unit

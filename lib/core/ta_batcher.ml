@@ -41,6 +41,10 @@ let batches t = Metric.Counter.value t.batches
 
 let requests t = Metric.Counter.value t.reqs
 
+let register_stats t stats ~prefix =
+  Stats.register_counter stats (prefix ^ ".batches") t.batches;
+  Stats.register_counter stats (prefix ^ ".requests") t.reqs
+
 let enqueue t entry =
   let r = { entry; handed = Sync.Ivar.create () } in
   Queue.add r t.queue;

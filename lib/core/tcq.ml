@@ -33,6 +33,10 @@ let batches t = Metric.Counter.value t.batches
 
 let requests t = Metric.Counter.value t.reqs
 
+let register_stats t stats ~prefix =
+  Stats.register_counter stats (prefix ^ ".batches") t.batches;
+  Stats.register_counter stats (prefix ^ ".requests") t.reqs
+
 (* The leader drains the TCQ in batches of at most [limit], submitting each
    batch as one io_uring call, until the queue is empty. Draining the queue
    before releasing leadership guarantees no enqueued request is ever

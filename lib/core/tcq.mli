@@ -33,3 +33,7 @@ val read_many : t -> Prism_device.Io_uring.entry list -> unit
 val batches : t -> int
 
 val requests : t -> int
+
+(** [register_stats t stats ~prefix] publishes the batch/request counters
+    (by reference) under [<prefix>.batches] / [<prefix>.requests]. *)
+val register_stats : t -> Prism_sim.Stats.t -> prefix:string -> unit

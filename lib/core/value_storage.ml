@@ -476,7 +476,11 @@ let start_gc t ~relocate =
       let rec loop () =
         Sync.Mailbox.recv t.gc_wakeup;
         let rec drain () =
-          if t.nfree < gc_threshold t && gc_pass t ~relocate then drain ()
+          if
+            t.nfree < gc_threshold t
+            && Engine.with_span t.engine "vs.gc" (fun () ->
+                   gc_pass t ~relocate)
+          then drain ()
         in
         drain ();
         loop ()
@@ -549,3 +553,10 @@ let recover t ~couple =
   (* The metadata scan is issued as one large batched read (the paper
      parallelizes recovery; latency overlaps, bandwidth binds, §5.5). *)
   Model.access t.device Model.Read ~size:!metadata_bytes
+
+let register_stats t stats ~prefix =
+  Stats.register_counter stats (prefix ^ ".gc_runs") t.gc_runs;
+  Stats.gauge_int stats (prefix ^ ".free_chunks") (fun () -> t.nfree);
+  Stats.gauge_int stats (prefix ^ ".live_bytes") (fun () -> live_bytes t);
+  Model.register_stats t.device stats ~prefix:(prefix ^ ".dev");
+  Io_uring.register_stats t.uring stats ~prefix:(prefix ^ ".uring")

@@ -144,3 +144,8 @@ val recover : t -> couple:(hsit_id:int -> Location.t -> bool) -> unit
 
 (** Total payload bytes currently marked valid (for tests). *)
 val live_bytes : t -> int
+
+(** [register_stats t stats ~prefix] publishes the GC-run counter (by
+    reference), occupancy gauges, and the device's and ring's metrics
+    under [<prefix>.*]. *)
+val register_stats : t -> Prism_sim.Stats.t -> prefix:string -> unit

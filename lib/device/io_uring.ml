@@ -9,6 +9,8 @@ type t = {
   cost : Cost.t;
   slots : Sync.Semaphore.t;
   mutable in_flight : int;
+  submits : Metric.Counter.t; (* submit calls (batches) *)
+  sqes : Metric.Counter.t; (* entries across all submits *)
 }
 
 let create engine model ~queue_depth ~cost =
@@ -20,6 +22,8 @@ let create engine model ~queue_depth ~cost =
     cost;
     slots = Sync.Semaphore.create queue_depth;
     in_flight = 0;
+    submits = Metric.Counter.create ();
+    sqes = Metric.Counter.create ();
   }
 
 let queue_depth t = t.queue_depth
@@ -30,6 +34,8 @@ let submit t entries =
   let n = List.length entries in
   if n = 0 then []
   else begin
+    Metric.Counter.incr t.submits;
+    Metric.Counter.add t.sqes n;
     (* Syscall cost: one io_uring_enter per ring-full of SQEs. *)
     let enters = (n + t.queue_depth - 1) / t.queue_depth in
     Engine.delay
@@ -68,3 +74,12 @@ let submit_and_wait t entries =
 let in_flight t = t.in_flight
 
 let is_idle t = t.in_flight = 0
+
+let submissions t = Metric.Counter.value t.submits
+
+let sqes_submitted t = Metric.Counter.value t.sqes
+
+let register_stats t stats ~prefix =
+  Stats.register_counter stats (prefix ^ ".submits") t.submits;
+  Stats.register_counter stats (prefix ^ ".sqes") t.sqes;
+  Stats.gauge_int stats (prefix ^ ".in_flight") (fun () -> t.in_flight)

@@ -78,3 +78,10 @@ let reset_stats t =
   t.writes <- 0
 
 let in_flight t = t.in_flight
+
+let register_stats t stats ~prefix =
+  Stats.gauge_int stats (prefix ^ ".bytes_read") (fun () -> t.bytes_read);
+  Stats.gauge_int stats (prefix ^ ".bytes_written") (fun () -> t.bytes_written);
+  Stats.gauge_int stats (prefix ^ ".reads") (fun () -> t.reads);
+  Stats.gauge_int stats (prefix ^ ".writes") (fun () -> t.writes);
+  Stats.gauge_int stats (prefix ^ ".in_flight") (fun () -> t.in_flight)

@@ -41,3 +41,8 @@ val reset_stats : t -> unit
 
 (** Current number of requests submitted but not yet completed. *)
 val in_flight : t -> int
+
+(** [register_stats t stats ~prefix] publishes the device's accounting as
+    gauges ([<prefix>.bytes_read], [.bytes_written], [.reads], [.writes],
+    [.in_flight]) in the given registry. *)
+val register_stats : t -> Prism_sim.Stats.t -> prefix:string -> unit

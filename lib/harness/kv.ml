@@ -1,92 +1,141 @@
 type t = {
   name : string;
+  stat_prefix : string;
   put : tid:int -> string -> bytes -> unit;
   get : tid:int -> string -> bytes option;
   delete : tid:int -> string -> bool;
   scan : tid:int -> string -> int -> (string * bytes) list;
   quiesce : unit -> unit;
-  ssd_bytes_written : unit -> int;
-  nvm_bytes_written : unit -> int;
   recover : (unit -> unit) option;
 }
 
 let of_prism store =
   {
     name = "Prism";
+    stat_prefix = Prism_sim.Stats.sanitize "Prism";
     put = (fun ~tid key value -> Prism_core.Store.put store ~tid key value);
     get = (fun ~tid key -> Prism_core.Store.get store ~tid key);
     delete = (fun ~tid key -> Prism_core.Store.delete store ~tid key);
     scan = (fun ~tid key count -> Prism_core.Store.scan store ~tid key count);
     quiesce = (fun () -> Prism_core.Store.quiesce store);
-    ssd_bytes_written = (fun () -> Prism_core.Store.ssd_bytes_written store);
-    nvm_bytes_written = (fun () -> Prism_core.Store.nvm_bytes_written store);
     recover = None;
   }
 
-let of_lsm tree ~nvm_written =
+let of_lsm tree =
   let open Prism_baselines in
+  let name = Lsm_tree.name tree in
   {
-    name = Lsm_tree.name tree;
+    name;
+    stat_prefix = Prism_sim.Stats.sanitize name;
     put = (fun ~tid:_ key value -> Lsm_tree.put tree key value);
     get = (fun ~tid:_ key -> Lsm_tree.get tree key);
     delete =
       (fun ~tid:_ key ->
+        (* Read-then-remove: the native [remove] writes a blind
+           tombstone. See the contract caveat in kv.mli. *)
+        let existed = Lsm_tree.get tree key <> None in
         Lsm_tree.remove tree key;
-        true);
+        existed);
     scan = (fun ~tid:_ key count -> Lsm_tree.scan tree ~from:key ~count);
     quiesce = (fun () -> Lsm_tree.quiesce tree);
-    ssd_bytes_written = (fun () -> Lsm_tree.level_bytes_written tree);
-    nvm_bytes_written = nvm_written;
     recover = None;
   }
 
-let of_slmdb db ~ssd_written ~nvm_written =
+let of_slmdb db =
   let open Prism_baselines in
   {
     name = "SLM-DB";
+    stat_prefix = Prism_sim.Stats.sanitize "SLM-DB";
     put = (fun ~tid:_ key value -> Slmdb.put db key value);
     get = (fun ~tid:_ key -> Slmdb.get db key);
     delete =
       (fun ~tid:_ key ->
+        let existed = Slmdb.get db key <> None in
         Slmdb.remove db key;
-        true);
+        existed);
     scan = (fun ~tid:_ key count -> Slmdb.scan db ~from:key ~count);
     quiesce = (fun () -> Slmdb.quiesce db);
-    ssd_bytes_written = ssd_written;
-    nvm_bytes_written = nvm_written;
     recover = None;
   }
 
 let of_kvell kv =
   let open Prism_baselines in
   (* Injector-style write pipelining: each client thread keeps up to a
-     small window of writes in flight, like KVell's injector threads. *)
+     small window of writes in flight, like KVell's injector threads.
+     The per-thread queue array grows on demand so distinct tids never
+     alias onto one another's pipeline. *)
   let window = 8 in
-  let max_tids = 256 in
-  let pending : unit Prism_sim.Sync.Ivar.t Queue.t array =
-    Array.init max_tids (fun _ -> Queue.create ())
+  let pending : unit Prism_sim.Sync.Ivar.t Queue.t array ref = ref [||] in
+  let queue_for tid =
+    if tid < 0 then invalid_arg "Kv.of_kvell: negative tid";
+    let n = Array.length !pending in
+    if tid >= n then begin
+      let n' = max (tid + 1) (max 8 (2 * n)) in
+      pending :=
+        Array.init n' (fun i ->
+            if i < n then !pending.(i) else Queue.create ())
+    end;
+    !pending.(tid)
   in
-  let drain_to tid limit =
-    let q = pending.(tid) in
+  let drain_to q limit =
     while Queue.length q > limit do
       Prism_sim.Sync.Ivar.read (Queue.pop q)
     done
   in
   {
     name = "KVell";
+    stat_prefix = Prism_sim.Stats.sanitize "KVell";
     put =
       (fun ~tid key value ->
-        let tid = tid mod max_tids in
-        Queue.add (Kvell.put_async kv key value) pending.(tid);
-        drain_to tid (window - 1));
+        let q = queue_for tid in
+        Queue.add (Kvell.put_async kv key value) q;
+        drain_to q (window - 1));
     get = (fun ~tid:_ key -> Kvell.get kv key);
     delete = (fun ~tid:_ key -> Kvell.delete kv key);
     scan = (fun ~tid:_ key count -> Kvell.scan kv ~from:key ~count);
     quiesce =
       (fun () ->
         Kvell.quiesce kv;
-        Array.iteri (fun tid _ -> drain_to tid 0) pending);
-    ssd_bytes_written = (fun () -> Kvell.ssd_bytes_written kv);
-    nvm_bytes_written = (fun () -> 0);
+        Array.iter (fun q -> drain_to q 0) !pending);
     recover = Some (fun () -> Kvell.recover kv);
+  }
+
+let instrument engine kv =
+  let open Prism_sim in
+  let reg = Engine.stats engine in
+  let spans = Engine.spans engine in
+  let p = "kv." ^ kv.stat_prefix in
+  let h_put = Stats.histogram reg (p ^ ".put.latency") in
+  let h_get = Stats.histogram reg (p ^ ".get.latency") in
+  let h_delete = Stats.histogram reg (p ^ ".delete.latency") in
+  let h_scan = Stats.histogram reg (p ^ ".scan.latency") in
+  let put_bytes = Stats.counter reg (p ^ ".put.bytes") in
+  (* Observational only: reads the virtual clock around the wrapped call
+     and never delays, spawns, or suspends — the event schedule is
+     untouched, so results match the uninstrumented store exactly. *)
+  let timed name hist ~tid f =
+    let t0 = Engine.now engine in
+    let h = Span.begin_ spans ~name ~tid ~now:t0 in
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = Engine.now engine in
+        Hist.record_span hist (t1 -. t0);
+        Span.end_ spans h ~now:t1)
+      f
+  in
+  {
+    kv with
+    put =
+      (fun ~tid key value ->
+        timed (p ^ ".put") h_put ~tid (fun () ->
+            kv.put ~tid key value;
+            Metric.Counter.add put_bytes (Bytes.length value)));
+    get =
+      (fun ~tid key -> timed (p ^ ".get") h_get ~tid (fun () -> kv.get ~tid key));
+    delete =
+      (fun ~tid key ->
+        timed (p ^ ".delete") h_delete ~tid (fun () -> kv.delete ~tid key));
+    scan =
+      (fun ~tid key count ->
+        timed (p ^ ".scan") h_scan ~tid (fun () -> kv.scan ~tid key count));
   }

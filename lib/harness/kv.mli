@@ -1,15 +1,27 @@
 (** Uniform key-value store interface the experiment driver runs against,
-    with adapters for Prism and every baseline. *)
+    with adapters for Prism and every baseline.
+
+    Every adapter carries a [stat_prefix]: the sanitized dotted-name
+    prefix under which the backing store publishes its metrics in the
+    engine registry (see {!Prism_sim.Stats}). Device counters are read
+    back as ["<prefix>.device.ssd.bytes_written"] and
+    ["<prefix>.device.nvm.bytes_written"]; {!Prism_sim.Stats.get_int}
+    returns 0 for stores that never touch one of the two media. *)
 
 type t = {
   name : string;
+  stat_prefix : string;
+      (** registry prefix, [Prism_sim.Stats.sanitize name] *)
   put : tid:int -> string -> bytes -> unit;
   get : tid:int -> string -> bytes option;
   delete : tid:int -> string -> bool;
+      (** returns whether the key existed. The LSM and SLM-DB adapters
+          implement this as read-then-remove (their native [remove] is a
+          blind tombstone write), so the answer can be stale if another
+          thread races the two steps — treat it as a hint, not a
+          linearization witness, for those stores. *)
   scan : tid:int -> string -> int -> (string * bytes) list;
   quiesce : unit -> unit;
-  ssd_bytes_written : unit -> int;
-  nvm_bytes_written : unit -> int;
   recover : (unit -> unit) option;
       (** charge a full restart-recovery, when the system supports the
           §7.6 recovery experiment *)
@@ -17,8 +29,18 @@ type t = {
 
 val of_prism : Prism_core.Store.t -> t
 
-val of_lsm : Prism_baselines.Lsm_tree.t -> nvm_written:(unit -> int) -> t
+val of_lsm : Prism_baselines.Lsm_tree.t -> t
 
-val of_slmdb : Prism_baselines.Slmdb.t -> ssd_written:(unit -> int) -> nvm_written:(unit -> int) -> t
+val of_slmdb : Prism_baselines.Slmdb.t -> t
 
 val of_kvell : Prism_baselines.Kvell.t -> t
+
+(** [instrument engine kv] wraps every operation of [kv] with telemetry:
+    per-op-kind virtual-time latency histograms
+    (["kv.<prefix>.put.latency"], [".get.latency"], [".delete.latency"],
+    [".scan.latency"]), a ["kv.<prefix>.put.bytes"] counter, and — when
+    span collection is enabled on the engine — a span per operation.
+    Purely observational: it only reads {!Prism_sim.Engine.now} and never
+    schedules events, so instrumented runs are virtual-time identical to
+    bare ones. *)
+val instrument : Prism_sim.Engine.t -> t -> t

@@ -110,8 +110,12 @@ let rocksdb_nvm engine s =
     Prism_baselines.Variants.rocksdb_nvm engine ~cost:Cost.default
       ~rng:(Rng.create s.seed) ~nvm_spec:nvm_array_spec ~scale
   in
-  Kv.of_lsm tree ~nvm_written:(fun () ->
-      Prism_baselines.Lsm_tree.level_bytes_written tree)
+  let kv = Kv.of_lsm tree in
+  (* The LSM runs entirely on NVM: its level traffic is NVM traffic. *)
+  Stats.gauge_int (Engine.stats engine)
+    (kv.Kv.stat_prefix ^ ".device.nvm.bytes_written")
+    (fun () -> Prism_baselines.Lsm_tree.level_bytes_written tree);
+  kv
 
 let matrixkv engine s =
   let tree, raid =
@@ -119,10 +123,11 @@ let matrixkv engine s =
       ~rng:(Rng.create s.seed) ~nvm_spec:nvm_array_spec
       ~ssd_specs:(ssd_specs s) ~scale:(lsm_scale s)
   in
-  let kv =
-    Kv.of_lsm tree ~nvm_written:(fun () -> 0)
-  in
-  { kv with Kv.ssd_bytes_written = (fun () -> Raid.bytes_written raid) }
+  let kv = Kv.of_lsm tree in
+  Stats.gauge_int (Engine.stats engine)
+    (kv.Kv.stat_prefix ^ ".device.ssd.bytes_written")
+    (fun () -> Raid.bytes_written raid);
+  kv
 
 let slmdb engine s =
   let d = dataset_bytes s in
@@ -140,8 +145,6 @@ let slmdb engine s =
       ~compaction_threshold:12
   in
   Kv.of_slmdb db
-    ~ssd_written:(fun () -> Raid.bytes_written raid)
-    ~nvm_written:(fun () -> Model.bytes_written nvm)
 
 let contenders engine s =
   let prism_kv, _ = prism engine s in

@@ -130,3 +130,10 @@ let persist_count t = t.persists
 let set_persist_hook t f = t.on_persist <- f
 
 let device t = t.device
+
+let register_stats t stats ~prefix =
+  Stats.gauge_int stats (prefix ^ ".persists") (fun () -> t.persists);
+  Stats.gauge_int stats (prefix ^ ".dirty_lines") (fun () ->
+      Hashtbl.length t.dirty);
+  Stats.gauge_int stats (prefix ^ ".allocated") (fun () -> t.allocated);
+  Model.register_stats t.device stats ~prefix

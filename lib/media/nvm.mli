@@ -97,3 +97,8 @@ val set_persist_hook : t -> (int -> unit) option -> unit
 
 (** Underlying timing model, for endurance/bandwidth statistics. *)
 val device : t -> Prism_device.Model.t
+
+(** [register_stats t stats ~prefix] publishes persist/dirty-line/alloc
+    gauges plus the underlying device's traffic counters under
+    [<prefix>.*]. *)
+val register_stats : t -> Prism_sim.Stats.t -> prefix:string -> unit

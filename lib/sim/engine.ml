@@ -33,6 +33,10 @@ type t = {
       (* label of the context currently executing; newly enqueued events
          inherit it, and it is restored from the event record whenever an
          event starts, so a label sticks to a continuation chain *)
+  stats : Stats.t;
+  spans : Span.t;
+      (* telemetry: read-only with respect to the event queue, so it can
+         never perturb the schedule *)
 }
 
 type _ Effect.t +=
@@ -55,6 +59,8 @@ let create () =
     choices_rev = [];
     n_choices = 0;
     cur_label = 0;
+    stats = Stats.create ();
+    spans = Span.create ();
   }
 
 let set_tie_break t = function
@@ -234,3 +240,14 @@ let current_now () = (current_engine ()).now
 let current () = current_engine ()
 
 let events_executed t = t.executed
+
+let stats t = t.stats
+
+let spans t = t.spans
+
+let with_span t ?(tid = 0) name f =
+  if not (Span.enabled t.spans) then f ()
+  else begin
+    let h = Span.begin_ t.spans ~name ~tid ~now:t.now in
+    Fun.protect ~finally:(fun () -> Span.end_ t.spans h ~now:t.now) f
+  end

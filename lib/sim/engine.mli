@@ -115,3 +115,17 @@ val current : unit -> t
 
 (** Number of events executed so far; useful for tests and progress. *)
 val events_executed : t -> int
+
+(** The engine's metric registry. Subsystems register counters, gauges
+    and histograms here under dotted names; harness code reads them back
+    uniformly. Registering and reading never schedules events. *)
+val stats : t -> Stats.t
+
+(** The engine's span tracer (disabled by default; see {!Span}). *)
+val spans : t -> Span.t
+
+(** [with_span t name f] runs [f] inside a virtual-time span named
+    [name] (attributed to [tid], default 0). When the tracer is disabled
+    this is exactly [f ()]. Only reads the clock — a span can never
+    schedule events or perturb tie sets. *)
+val with_span : t -> ?tid:int -> string -> (unit -> 'a) -> 'a

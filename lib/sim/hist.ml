@@ -103,4 +103,11 @@ let merge ~into src =
     if src.max_v > into.max_v then into.max_v <- src.max_v
   end
 
+let reset t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.total <- 0;
+  t.sum <- 0.0;
+  t.min_v <- max_int;
+  t.max_v <- 0
+
 let to_us v = float_of_int v /. 1e3

@@ -36,5 +36,9 @@ val median : t -> int
 (** [merge ~into src] adds all of [src]'s observations into [into]. *)
 val merge : into:t -> t -> unit
 
+(** [reset t] discards every observation, returning [t] to its freshly
+    created state. *)
+val reset : t -> unit
+
 (** [to_us v] converts a nanosecond measurement to microseconds. *)
 val to_us : int -> float

@@ -43,4 +43,8 @@ module Timeline = struct
     |> List.sort (fun (a, _) (b, _) -> compare a b)
     |> List.map (fun (idx, w) ->
            (float_of_int idx *. t.interval, w.count, List.rev w.marks))
+
+  let total t = Hashtbl.fold (fun _ w acc -> acc + w.count) t.table 0
+
+  let reset t = Hashtbl.reset t.table
 end

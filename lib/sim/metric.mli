@@ -34,4 +34,10 @@ module Timeline : sig
   (** [windows t] returns [(window_start, count, marks)] triples in time
       order. *)
   val windows : t -> (float * int * string list) list
+
+  (** Total ticks across all windows. *)
+  val total : t -> int
+
+  (** [reset t] drops all recorded windows (the interval is kept). *)
+  val reset : t -> unit
 end

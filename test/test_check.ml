@@ -225,7 +225,7 @@ let test_linearize_scan () =
 let store_run ~tie_seed ~seed =
   let engine = Engine.create () in
   Engine.set_tie_break engine (Engine.Seeded tie_seed);
-  let stats = ref None in
+  let store_ref = ref None in
   Engine.spawn engine (fun () ->
       let cfg =
         {
@@ -236,6 +236,7 @@ let store_run ~tie_seed ~seed =
         }
       in
       let store = Prism_core.Store.create engine cfg in
+      store_ref := Some store;
       let rng = Rng.create seed in
       for tid = 0 to 2 do
         Engine.spawn engine (fun () ->
@@ -244,10 +245,10 @@ let store_run ~tie_seed ~seed =
               if i mod 3 = 0 then ignore (Prism_core.Store.get store ~tid k)
               else Prism_core.Store.put store ~tid k (value i)
             done)
-      done;
-      stats := Some (Prism_core.Store.stats store));
+      done);
   let clock = Engine.run engine in
-  let s = Option.get !stats in
+  (* [Store.stats] snapshots live counters; take it after the run. *)
+  let s = Prism_core.Store.stats (Option.get !store_ref) in
   ( clock,
     Engine.events_executed engine,
     ( s.Prism_core.Store.puts,

@@ -138,6 +138,81 @@ let test_simulation_deterministic () =
   let second = run () in
   Alcotest.(check bool) "bit-identical reruns" true (first = second)
 
+(* The telemetry invariant the whole layer rests on: wrapping a store in
+   [Kv.instrument] (with span collection enabled) only reads the virtual
+   clock, so an instrumented run is bit-identical to a bare one — same
+   virtual durations, same event count, same latency histograms. *)
+let run_with_instrumentation make ~instrumented =
+  let e = Engine.create () in
+  let kv = make e in
+  let kv =
+    if instrumented then begin
+      Span.set_enabled (Engine.spans e) true;
+      Span.set_keep_events (Engine.spans e) true;
+      Kv.instrument e kv
+    end
+    else kv
+  in
+  let load =
+    Runner.load e kv ~threads:tiny.threads ~records:tiny.records
+      ~value_size:tiny.value_size ~seed:tiny.seed
+  in
+  let a =
+    Runner.run e kv Prism_workload.Ycsb.ycsb_a ~threads:tiny.threads
+      ~records:tiny.records ~ops:tiny.ops ~theta:0.99
+      ~value_size:tiny.value_size ~seed:tiny.seed
+  in
+  (load, a, Engine.events_executed e)
+
+let check_instrumentation_inert name make =
+  let bare = run_with_instrumentation make ~instrumented:false in
+  let wrapped = run_with_instrumentation make ~instrumented:true in
+  Alcotest.(check bool) (name ^ ": instrumented run bit-identical") true
+    (bare = wrapped)
+
+let test_instrumentation_inert_prism () =
+  check_instrumentation_inert "prism" (fun e -> fst (Setup.prism e tiny))
+
+let test_instrumentation_inert_lsm () =
+  check_instrumentation_inert "rocksdb-nvm" (fun e -> Setup.rocksdb_nvm e tiny)
+
+let test_registry_covers_subsystems () =
+  let e = Engine.create () in
+  let kv, _ = Setup.prism e tiny in
+  let kv = Kv.instrument e kv in
+  ignore
+    (Runner.load e kv ~threads:tiny.threads ~records:tiny.records
+       ~value_size:tiny.value_size ~seed:tiny.seed);
+  ignore
+    (Runner.run e kv Prism_workload.Ycsb.ycsb_a ~threads:tiny.threads
+       ~records:tiny.records ~ops:tiny.ops ~theta:0.99
+       ~value_size:tiny.value_size ~seed:tiny.seed);
+  let reg = Engine.stats e in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " registered") true
+        (Stats.find reg name <> None))
+    [
+      "prism.ops.puts";
+      "prism.svc.hits";
+      "prism.pwb.hits";
+      "prism.tcq.batches";
+      "prism.vs_gc.runs";
+      "prism.device.ssd.waf";
+      "prism.device.nvm.bytes_written";
+      "kv.prism.put.latency";
+      "kv.prism.get.latency";
+    ];
+  (* Every put went through the middleware, so the registry's counter and
+     the middleware's histogram must agree exactly. *)
+  Alcotest.(check bool) "puts counted" true
+    (Stats.get_int reg "prism.ops.puts" >= tiny.records);
+  Alcotest.(check int) "middleware saw every put"
+    (Stats.get_int reg "prism.ops.puts")
+    (Stats.get_int reg "kv.prism.put.latency");
+  Alcotest.(check bool) "ssd bytes surface through the registry" true
+    (Stats.get_int reg "prism.device.ssd.bytes_written" > 0)
+
 let test_different_seeds_differ () =
   let run seed =
     let e = Engine.create () in
@@ -179,6 +254,10 @@ let () =
         [
           case "identical reruns" test_simulation_deterministic;
           case "seeds differ" test_different_seeds_differ;
+          case "instrumentation inert (prism)" test_instrumentation_inert_prism;
+          case "instrumentation inert (lsm)" test_instrumentation_inert_lsm;
         ] );
+      ( "telemetry",
+        [ case "registry covers subsystems" test_registry_covers_subsystems ] );
       ( "report", [ case "table renders" test_report_table_renders ] );
     ]

@@ -586,6 +586,146 @@ let test_timeline () =
       Alcotest.(check (list string)) "w2 marks" [ "gc" ] m2
   | _ -> Alcotest.fail "unexpected windows")
 
+let test_timeline_mark_before_tick () =
+  (* A mark in a window that never saw a tick still creates the window,
+     with count 0 and the labels in arrival order. *)
+  let tl = Metric.Timeline.create ~interval:1.0 in
+  Metric.Timeline.mark tl ~now:0.2 "first";
+  Metric.Timeline.mark tl ~now:0.8 "second";
+  (match Metric.Timeline.windows tl with
+  | [ (t0, c0, m0) ] ->
+      Alcotest.(check (float 1e-9)) "window start" 0.0 t0;
+      Alcotest.(check int) "no ticks" 0 c0;
+      Alcotest.(check (list string)) "marks in order" [ "first"; "second" ] m0
+  | _ -> Alcotest.fail "expected exactly one window");
+  Alcotest.(check int) "total ignores marks" 0 (Metric.Timeline.total tl)
+
+let test_timeline_total_and_reset () =
+  let tl = Metric.Timeline.create ~interval:0.5 in
+  Metric.Timeline.tick tl ~now:0.1;
+  Metric.Timeline.tick tl ~now:0.6;
+  Metric.Timeline.tick tl ~now:7.9;
+  Alcotest.(check int) "total sums every window" 3 (Metric.Timeline.total tl);
+  Alcotest.(check int) "sparse windows only" 3
+    (List.length (Metric.Timeline.windows tl));
+  Metric.Timeline.reset tl;
+  Alcotest.(check int) "reset empties" 0 (Metric.Timeline.total tl);
+  Alcotest.(check int) "no windows" 0 (List.length (Metric.Timeline.windows tl))
+
+(* ---- Stats registry ---- *)
+
+let contains_substring haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_stats_counter_shared () =
+  let s = Stats.create () in
+  let a = Stats.counter s "x.calls" in
+  let b = Stats.counter s "x.calls" in
+  Metric.Counter.incr a;
+  Metric.Counter.add b 2;
+  Alcotest.(check int) "one shared counter" 3 (Stats.get_int s "x.calls");
+  Alcotest.check_raises "type clash rejected"
+    (Invalid_argument "Stats.histogram: \"x.calls\" registered as a non-histogram")
+    (fun () -> ignore (Stats.histogram s "x.calls"))
+
+let test_stats_adopted_counter () =
+  let s = Stats.create () in
+  let c = Metric.Counter.create () in
+  Metric.Counter.add c 7;
+  Stats.register_counter s "sub.ops" c;
+  Alcotest.(check int) "adopted by reference" 7 (Stats.get_int s "sub.ops");
+  Metric.Counter.incr c;
+  Alcotest.(check int) "stays live" 8 (Stats.get_int s "sub.ops")
+
+let test_stats_sanitize () =
+  Alcotest.(check string) "rocksdb" "rocksdb-nvm" (Stats.sanitize "RocksDB-NVM");
+  Alcotest.(check string) "slmdb" "slm-db" (Stats.sanitize "SLM-DB");
+  Alcotest.(check string) "spaces collapse" "kvell-sync"
+    (Stats.sanitize "KVell (sync)");
+  Alcotest.(check string) "empty" "unnamed" (Stats.sanitize "  ")
+
+let test_stats_snapshot_diff_reset () =
+  let s = Stats.create () in
+  let c = Stats.counter s "c" in
+  let g = ref 5 in
+  Stats.gauge_int s "g" (fun () -> !g);
+  let h = Stats.histogram s "h" in
+  Metric.Counter.add c 10;
+  Hist.record h 100;
+  Hist.record h 200;
+  let before = Stats.snapshot s in
+  Metric.Counter.add c 32;
+  g := 9;
+  Hist.record h 300;
+  let after = Stats.snapshot s in
+  let d = Stats.diff ~before ~after in
+  (match List.assoc "c" d with
+  | Stats.Int n -> Alcotest.(check int) "counter delta" 32 n
+  | _ -> Alcotest.fail "counter should diff to Int");
+  (match List.assoc "g" d with
+  | Stats.Int n -> Alcotest.(check int) "gauge delta" 4 n
+  | _ -> Alcotest.fail "gauge should diff to Int");
+  (match List.assoc "h" d with
+  | Stats.Dist { count; max; _ } ->
+      Alcotest.(check int) "hist count delta" 1 count;
+      Alcotest.(check int) "digest is cumulative" 300 max
+  | _ -> Alcotest.fail "histogram should diff to Dist");
+  Stats.reset s;
+  Alcotest.(check int) "counter reset" 0 (Stats.get_int s "c");
+  Alcotest.(check int) "histogram reset" 0 (Stats.get_int s "h");
+  Alcotest.(check int) "gauge untouched by reset" 9 (Stats.get_int s "g")
+
+let test_stats_json () =
+  let s = Stats.create () in
+  Metric.Counter.add (Stats.counter s "a.count") 3;
+  Stats.gauge_float s "a.ratio" (fun () -> 0.5);
+  Hist.record (Stats.histogram s "a.lat") 42;
+  let json = Stats.to_json s in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true
+        (contains_substring json needle))
+    [ {|"a.count":3|}; {|"a.ratio":0.5|}; {|"count":1|} ]
+
+(* ---- Span tracer ---- *)
+
+let test_span_disabled_noop () =
+  let s = Span.create () in
+  let h = Span.begin_ s ~name:"x" ~tid:0 ~now:0.0 in
+  Span.end_ s h ~now:1.0;
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Span.totals s))
+
+let test_span_self_time () =
+  let s = Span.create () in
+  Span.set_enabled s true;
+  let outer = Span.begin_ s ~name:"outer" ~tid:1 ~now:0.0 in
+  let inner = Span.begin_ s ~name:"inner" ~tid:1 ~now:2.0 in
+  Span.end_ s inner ~now:6.0;
+  Span.end_ s outer ~now:10.0;
+  (match Span.totals s with
+  | [ ("inner", 1, ti, si); ("outer", 1, t_o, s_o) ] ->
+      Alcotest.(check (float 1e-9)) "inner total" 4.0 ti;
+      Alcotest.(check (float 1e-9)) "inner self" 4.0 si;
+      Alcotest.(check (float 1e-9)) "outer total" 10.0 t_o;
+      Alcotest.(check (float 1e-9)) "outer self excludes child" 6.0 s_o
+  | _ -> Alcotest.fail "expected inner and outer totals");
+  Span.reset s;
+  Alcotest.(check int) "reset clears" 0 (List.length (Span.totals s))
+
+let test_span_chrome_export () =
+  let s = Span.create () in
+  Span.set_enabled s true;
+  Span.set_keep_events s true;
+  let h = Span.begin_ s ~name:"op \"q\"" ~tid:3 ~now:1e-6 in
+  Span.end_ s h ~now:3e-6;
+  let json = Span.to_chrome_json s in
+  let contains needle = contains_substring json needle in
+  Alcotest.(check bool) "traceEvents array" true (contains "\"traceEvents\"");
+  Alcotest.(check bool) "escaped name" true (contains {|op \"q\"|});
+  Alcotest.(check bool) "tid kept" true (contains {|"tid":3|})
+
 let () =
   Alcotest.run "sim"
     [
@@ -667,5 +807,24 @@ let () =
           prop_hist_percentile_bounds;
         ] );
       ( "metric",
-        [ case "counter" test_counter; case "timeline" test_timeline ] );
+        [
+          case "counter" test_counter;
+          case "timeline" test_timeline;
+          case "mark before tick" test_timeline_mark_before_tick;
+          case "total and reset" test_timeline_total_and_reset;
+        ] );
+      ( "stats",
+        [
+          case "shared counter" test_stats_counter_shared;
+          case "adopted counter" test_stats_adopted_counter;
+          case "sanitize" test_stats_sanitize;
+          case "snapshot diff reset" test_stats_snapshot_diff_reset;
+          case "json export" test_stats_json;
+        ] );
+      ( "span",
+        [
+          case "disabled noop" test_span_disabled_noop;
+          case "self time" test_span_self_time;
+          case "chrome export" test_span_chrome_export;
+        ] );
     ]
