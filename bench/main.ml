@@ -68,6 +68,7 @@ let collected_stats : (string * string) list ref = ref []
 let harvest label e =
   if !stats_requested || !stats_json_path <> None then begin
     let reg = Engine.stats e in
+    Stats.register_gc reg;
     collected_stats := (label, Stats.to_json reg) :: !collected_stats;
     if !stats_requested then Format.printf "  [%s registry]@.%a@." label Stats.pp reg
   end
@@ -1117,11 +1118,20 @@ let () =
              JSON object keyed by run label"
           ~docv:"FILE")
   in
-  let main exp scale with_micro stats stats_json =
+  let gc_tune =
+    Arg.(
+      value & flag
+      & info [ "gc-tune" ]
+          ~doc:
+            "Tune the host GC for simulation workloads (large minor heap); \
+             wall-clock only, virtual-time results are unaffected")
+  in
+  let main exp scale with_micro stats stats_json gc_tune =
     (match scale with
     | "full" -> scenario := full_scenario
     | "small" -> scenario := small_scenario
     | other -> failwith ("unknown scale: " ^ other));
+    if gc_tune then Setup.gc_tune ();
     stats_requested := stats;
     stats_json_path := stats_json;
     run_experiments exp with_micro
@@ -1129,6 +1139,6 @@ let () =
   let cmd =
     Cmd.v
       (Cmd.info "prism-bench" ~doc:"Regenerate the paper's tables and figures")
-      Term.(const main $ exp $ scale $ with_micro $ stats $ stats_json)
+      Term.(const main $ exp $ scale $ with_micro $ stats $ stats_json $ gc_tune)
   in
   exit (Cmd.eval cmd)

@@ -1,0 +1,373 @@
+(* bench/perf: wall-clock microbenchmark harness for the simulation
+   engine and the stores behind the Kv layer.
+
+   Unlike bench/main.exe (which reports *virtual-time* results and must be
+   bit-stable), everything here is measured in host wall-clock seconds and
+   host GC words: it answers "how fast does the simulator itself run",
+   which is what the hot-path optimization work targets.
+
+     dune exec bench/perf.exe --                   full run
+     dune exec bench/perf.exe -- --quick           CI-sized run
+     dune exec bench/perf.exe -- --out FILE        JSON report (default
+                                                   BENCH_sim.json)
+     dune exec bench/perf.exe -- --baseline FILE   fail (exit 1) if a
+                                                   gated rate drops >30%
+                                                   below FILE's value
+     dune exec bench/perf.exe -- --gc-tune         large minor heap
+
+   Every metric key in the JSON is globally unique, so the baseline gate
+   (and any external consumer) can find a value with a plain string scan —
+   no JSON parser dependency. *)
+
+open Prism_sim
+open Prism_harness
+open Prism_workload
+
+let pf fmt = Printf.printf fmt
+
+(* ---------------------------------------------------------------- *)
+(* Measurement scaffolding                                           *)
+(* ---------------------------------------------------------------- *)
+
+type sample = {
+  rate : float; (* operations per wall second, best repetition *)
+  ns_per_op : float;
+  minor_words_per_op : float;
+}
+
+(* Best-of-[reps]: the benchmark machine is shared, so the minimum-noise
+   repetition is the honest estimate of the code's cost. GC words per op
+   are from the best-rate repetition as well. *)
+let measure ~reps ~ops f =
+  let best = ref neg_infinity in
+  let best_words = ref 0.0 in
+  for _ = 1 to reps do
+    let w0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let dt = Unix.gettimeofday () -. t0 in
+    let dw = Gc.minor_words () -. w0 in
+    let rate = float_of_int ops /. dt in
+    if rate > !best then begin
+      best := rate;
+      best_words := dw /. float_of_int ops
+    end
+  done;
+  {
+    rate = !best;
+    ns_per_op = 1e9 /. !best;
+    minor_words_per_op = !best_words;
+  }
+
+let results : (string * sample) list ref = ref []
+
+let report name sample =
+  results := (name, sample) :: !results;
+  pf "%-28s %12.0f /s  %8.1f ns/op  %7.1f minor words/op\n%!" name sample.rate
+    sample.ns_per_op sample.minor_words_per_op
+
+(* ---------------------------------------------------------------- *)
+(* Bare-engine benchmarks                                            *)
+(* ---------------------------------------------------------------- *)
+
+(* Dispatch: 64 self-rescheduling callbacks — the pure event-loop path
+   (enqueue, heap sift, pop, indirect call), no effects involved. *)
+let bench_engine_dispatch ~ops ~reps =
+  let sources = 64 in
+  let run () =
+    let e = Engine.create () in
+    let remaining = ref ops in
+    for i = 0 to sources - 1 do
+      let period = float_of_int ((i mod 7) + 1) *. 1e-6 in
+      let rec fire () =
+        decr remaining;
+        if !remaining <= 0 then Engine.stop e
+        else Engine.schedule e ~after:period fire
+      in
+      Engine.schedule e ~after:period fire
+    done;
+    ignore (Engine.run e)
+  in
+  report "engine.dispatch" (measure ~reps ~ops run)
+
+(* Process: 64 effect-handled processes looping on Engine.delay — adds
+   continuation capture/resume to every event. *)
+let bench_engine_process ~ops ~reps =
+  let sources = 64 in
+  let run () =
+    let e = Engine.create () in
+    let per_proc = ops / sources in
+    for i = 0 to sources - 1 do
+      let period = float_of_int ((i mod 7) + 1) *. 1e-6 in
+      Engine.spawn e (fun () ->
+          for _ = 1 to per_proc do
+            Engine.delay period
+          done)
+    done;
+    ignore (Engine.run e)
+  in
+  report "engine.process" (measure ~reps ~ops run)
+
+(* ---------------------------------------------------------------- *)
+(* Component benchmarks                                              *)
+(* ---------------------------------------------------------------- *)
+
+let bench_heap ~ops ~reps =
+  let h = Heap.create () in
+  let noop () = () in
+  for i = 0 to 63 do
+    Heap.push h ~time:(float_of_int ((i mod 7) + 1) *. 1e-6) ~seq:i noop
+  done;
+  let seq = ref 64 in
+  let run () =
+    for _ = 1 to ops do
+      let time = Heap.min_time h in
+      let v = Heap.pop_unsafe h in
+      let period = float_of_int ((!seq mod 7) + 1) *. 1e-6 in
+      Heap.push h ~time:(time +. period) ~seq:!seq v;
+      incr seq
+    done
+  in
+  report "heap.push_pop" (measure ~reps ~ops run)
+
+let bench_hist ~ops ~reps =
+  let hist = Hist.create () in
+  let run () =
+    for i = 1 to ops do
+      Hist.record hist (i land 0xFFFFF)
+    done
+  in
+  report "hist.record" (measure ~reps ~ops run)
+
+let bench_rng ~ops ~reps =
+  let rng = Rng.create 1L in
+  let acc = ref 0 in
+  let run () =
+    for _ = 1 to ops do
+      acc := !acc + Rng.int rng 1024
+    done
+  in
+  report "rng.int" (measure ~reps ~ops run);
+  ignore !acc
+
+let bench_zipfian ~ops ~reps =
+  let items = 100_000 in
+  List.iter
+    (fun (label, theta) ->
+      let z = Zipfian.create ~items ~theta (Rng.create 2L) in
+      let acc = ref 0 in
+      let run () =
+        for _ = 1 to ops do
+          acc := !acc + Zipfian.next_rank z
+        done
+      in
+      report label (measure ~reps ~ops run);
+      ignore !acc)
+    [ ("zipfian.theta099", 0.99); ("zipfian.theta12", 1.2) ]
+
+(* ---------------------------------------------------------------- *)
+(* Store benchmarks (through the Kv layer)                           *)
+(* ---------------------------------------------------------------- *)
+
+(* One LOAD + one YCSB-A phase per store, wall-clocked end to end. The
+   simulated hardware work per op differs by store, so these numbers are
+   "simulator ops/sec for this store's model", comparable across commits
+   but not across stores. *)
+let bench_stores ~quick ~reps =
+  let s =
+    {
+      Setup.default_scenario with
+      records = (if quick then 4_000 else 10_000);
+      value_size = 256;
+      threads = 16;
+      num_ssds = 2;
+      ops = (if quick then 8_000 else 20_000);
+    }
+  in
+  let makers =
+    [
+      ("store.prism", fun e -> fst (Setup.prism e s));
+      ("store.kvell", fun e -> Setup.kvell e s);
+    ]
+    @
+    if quick then []
+    else
+      [
+        ("store.matrixkv", fun e -> Setup.matrixkv e s);
+        ("store.rocksdb-nvm", fun e -> Setup.rocksdb_nvm e s);
+      ]
+  in
+  List.iter
+    (fun (name, make) ->
+      let total_ops = s.Setup.records + s.Setup.ops in
+      let run () =
+        let e = Engine.create () in
+        let kv = make e in
+        ignore
+          (Runner.load e kv ~threads:s.Setup.threads ~records:s.Setup.records
+             ~value_size:s.Setup.value_size ~seed:s.Setup.seed);
+        ignore
+          (Runner.run e kv Ycsb.ycsb_a ~threads:s.Setup.threads
+             ~records:s.Setup.records ~ops:s.Setup.ops ~theta:s.Setup.theta
+             ~value_size:s.Setup.value_size ~seed:s.Setup.seed)
+      in
+      report name (measure ~reps ~ops:total_ops run))
+    makers
+
+(* ---------------------------------------------------------------- *)
+(* JSON report + baseline gate                                       *)
+(* ---------------------------------------------------------------- *)
+
+let json_key name suffix =
+  let b = Buffer.create 32 in
+  String.iter
+    (function ('a' .. 'z' | '0' .. '9') as c -> Buffer.add_char b c | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b ^ "_" ^ suffix
+
+let write_json path ~quick =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"prism-bench-sim-v1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"quick\": %b" quick);
+  List.iter
+    (fun (name, s) ->
+      Buffer.add_string b
+        (Printf.sprintf ",\n  %S: %.1f" (json_key name "per_sec") s.rate);
+      Buffer.add_string b
+        (Printf.sprintf ",\n  %S: %.3f"
+           (json_key name "minor_words_per_op")
+           s.minor_words_per_op))
+    (List.rev !results);
+  Buffer.add_string b "\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  pf "\nwrote %s\n" path
+
+(* The committed baseline has globally unique keys, so a plain substring
+   scan suffices — no JSON library in the dependency cone. *)
+let scan_number ~key text =
+  let needle = Printf.sprintf "%S:" key in
+  match
+    (* find needle *)
+    let nl = String.length needle and tl = String.length text in
+    let rec find i =
+      if i + nl > tl then None
+      else if String.sub text i nl = needle then Some (i + nl)
+      else find (i + 1)
+    in
+    find 0
+  with
+  | None -> None
+  | Some start ->
+      let tl = String.length text in
+      let i = ref start in
+      while !i < tl && text.[!i] = ' ' do
+        incr i
+      done;
+      let j = ref !i in
+      while
+        !j < tl
+        && match text.[!j] with '0' .. '9' | '.' | '-' | 'e' | '+' -> true | _ -> false
+      do
+        incr j
+      done;
+      float_of_string_opt (String.sub text !i (!j - !i))
+
+(* Gate: the bare-engine rates may not drop more than 30% below the
+   committed baseline. Store rates are reported but not gated (they are
+   noisier: simulated-hardware model work dominates). *)
+let gated_keys =
+  [ "engine_dispatch_per_sec"; "engine_process_per_sec" ]
+
+let check_baseline path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  let failed = ref false in
+  List.iter
+    (fun key ->
+      match scan_number ~key text with
+      | None -> pf "baseline %s: key %s absent, skipping\n" path key
+      | Some base -> (
+          let name_prefix = String.sub key 0 (String.length key - String.length "_per_sec") in
+          let current =
+            List.find_opt
+              (fun (name, _) -> json_key name "per_sec" = key)
+              !results
+          in
+          match current with
+          | None -> pf "baseline gate: %s not measured this run\n" name_prefix
+          | Some (_, s) ->
+              let floor = 0.7 *. base in
+              if s.rate < floor then begin
+                failed := true;
+                pf
+                  "baseline gate FAILED: %s %.0f /s is more than 30%% below \
+                   baseline %.0f /s\n"
+                  key s.rate base
+              end
+              else
+                pf "baseline gate ok: %s %.0f /s (baseline %.0f /s)\n" key
+                  s.rate base))
+    gated_keys;
+  if !failed then exit 1
+
+(* ---------------------------------------------------------------- *)
+(* CLI                                                               *)
+(* ---------------------------------------------------------------- *)
+
+let () =
+  let open Cmdliner in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"CI-sized run: fewer ops, fewer repetitions")
+  in
+  let out =
+    Arg.(
+      value & opt string "BENCH_sim.json"
+      & info [ "out" ] ~doc:"Write the JSON report to $(docv)" ~docv:"FILE")
+  in
+  let baseline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ]
+          ~doc:
+            "Compare against $(docv); exit 1 if a gated rate drops more \
+             than 30% below it"
+          ~docv:"FILE")
+  in
+  let gc_tune =
+    Arg.(
+      value & flag
+      & info [ "gc-tune" ]
+          ~doc:"Tune the host GC before measuring (large minor heap)")
+  in
+  let main quick out baseline gc_tune =
+    if gc_tune then Setup.gc_tune ();
+    let engine_ops = if quick then 500_000 else 2_000_000 in
+    let comp_ops = if quick then 1_000_000 else 4_000_000 in
+    let reps = if quick then 2 else 3 in
+    pf "prism simulation perf harness (%s)\n\n"
+      (if quick then "quick" else "full");
+    bench_engine_dispatch ~ops:engine_ops ~reps;
+    bench_engine_process ~ops:engine_ops ~reps;
+    bench_heap ~ops:comp_ops ~reps;
+    bench_hist ~ops:comp_ops ~reps;
+    bench_rng ~ops:comp_ops ~reps;
+    bench_zipfian ~ops:comp_ops ~reps;
+    bench_stores ~quick ~reps;
+    write_json out ~quick;
+    match baseline with None -> () | Some path -> check_baseline path
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "prism-perf"
+         ~doc:"Wall-clock microbenchmarks of the simulation engine")
+      Term.(const main $ quick $ out $ baseline $ gc_tune)
+  in
+  exit (Cmd.eval cmd)

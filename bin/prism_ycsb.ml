@@ -67,7 +67,8 @@ let write_file path contents =
   close_out oc
 
 let run store_name workloads records value_size threads num_ssds theta ops
-    trace_out trace_in stats stats_json chrome_trace =
+    trace_out trace_in stats stats_json chrome_trace gc_tune =
+  if gc_tune then Setup.gc_tune ();
   let scenario =
     {
       Setup.default_scenario with
@@ -142,6 +143,7 @@ let run store_name workloads records value_size threads num_ssds theta ops
   | Some path -> replay_trace engine kv ~threads path
   | None -> ());
   let reg = Engine.stats engine in
+  Stats.register_gc reg;
   let dev medium =
     Stats.get_int reg (kv.Kv.stat_prefix ^ ".device." ^ medium ^ ".bytes_written")
   in
@@ -222,12 +224,20 @@ let () =
              to $(docv)"
           ~docv:"FILE")
   in
+  let gc_tune =
+    Arg.(
+      value & flag
+      & info [ "gc-tune" ]
+          ~doc:
+            "Tune the host GC for simulation workloads (large minor heap); \
+             wall-clock only, virtual-time results are unaffected")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "prism-ycsb" ~doc:"Run YCSB workloads on simulated KV stores")
       Term.(
         const run $ store $ workload $ records $ value_size $ threads $ ssds
         $ theta $ ops $ trace_out $ trace_in $ stats $ stats_json
-        $ chrome_trace)
+        $ chrome_trace $ gc_tune)
   in
   exit (Cmd.eval cmd)

@@ -51,3 +51,10 @@ val slmdb : Prism_sim.Engine.t -> scenario -> Kv.t
 
 (** All four multi-threaded contenders of Figure 7, in paper order. *)
 val contenders : Prism_sim.Engine.t -> scenario -> Kv.t list
+
+(** Tune the host GC for simulation workloads: a 64 MB minor heap (so the
+    short-lived event/continuation garbage dies young) and a relaxed major
+    space overhead. Purely a wall-clock optimisation — virtual-time results
+    are unaffected. Exposed behind the [--gc-tune] flag of the bench
+    executables. *)
+val gc_tune : unit -> unit

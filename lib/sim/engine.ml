@@ -14,16 +14,16 @@ type policy =
   | P_replay of { choices : int array; mutable pos : int }
   | P_guided of (alt array -> int)
 
-(* A queued event: the action plus the scheduling label it inherited from
-   the context that enqueued it (see [annotate]). *)
-type event = { action : unit -> unit; label : int }
+(* Events are bare actions; the scheduling label each one inherited from
+   the context that enqueued it (see [annotate]) rides the heap's aux
+   channel, so the queue needs no per-event record at all. *)
 
 type t = {
   mutable now : float;
   mutable seq : int;
   mutable stopped : bool;
   mutable executed : int;
-  events : event Heap.t;
+  events : (unit -> unit) Heap.t;
   mutable policy : policy;
   mutable choices_rev : int list;
       (* tie-break decisions, newest first; recorded only under a
@@ -31,8 +31,9 @@ type t = {
   mutable n_choices : int;
   mutable cur_label : int;
       (* label of the context currently executing; newly enqueued events
-         inherit it, and it is restored from the event record whenever an
-         event starts, so a label sticks to a continuation chain *)
+         inherit it, and it is restored from the event's aux channel
+         whenever an event starts, so a label sticks to a continuation
+         chain *)
   stats : Stats.t;
   spans : Span.t;
       (* telemetry: read-only with respect to the event queue, so it can
@@ -43,9 +44,10 @@ type _ Effect.t +=
   | Delay : (t * float) -> unit Effect.t
   | Suspend : (t * ((unit -> unit) -> unit)) -> unit Effect.t
 
-(* The engine of the currently-running process. Set for the duration of each
-   event execution so that [delay]/[suspend] can find their engine without
-   every call site threading it explicitly. *)
+(* The engine of the currently-running process. [run] sets it for the whole
+   event loop (events only ever execute inside their own engine's loop), so
+   [delay]/[suspend] can find their engine without every call site threading
+   it explicitly — and without a save/restore per event. *)
 let current : t option ref = ref None
 
 let create () =
@@ -79,29 +81,21 @@ let annotation t = t.cur_label
 
 let enqueue ?label t ~at f =
   assert (at >= t.now);
-  let label = match label with None -> t.cur_label | Some l -> l in
+  let aux = match label with None -> t.cur_label | Some l -> l in
   let seq = t.seq in
   t.seq <- seq + 1;
-  Heap.push t.events ~time:at ~seq { action = f; label }
+  Heap.push t.events ~time:at ~seq ~aux f
 
 let schedule t ~after f = enqueue t ~at:(t.now +. after) f
 
-let resume_continuation t k =
-  let saved = !current in
-  current := Some t;
-  Fun.protect
-    ~finally:(fun () -> current := saved)
-    (fun () -> Effect.Deep.continue k ())
-
-let handler t =
+let handler (_ : t) =
   let open Effect.Deep in
   let effc : type a. a Effect.t -> ((a, unit) continuation -> unit) option =
     function
     | Delay (engine, d) ->
         Some
           (fun k ->
-            enqueue engine ~at:(engine.now +. d) (fun () ->
-                resume_continuation t k))
+            enqueue engine ~at:(engine.now +. d) (fun () -> continue k ()))
     | Suspend (engine, register) ->
         Some
           (fun k ->
@@ -113,8 +107,7 @@ let handler t =
             register (fun () ->
                 if !resumed then invalid_arg "Engine: resume called twice";
                 resumed := true;
-                enqueue ~label engine ~at:engine.now (fun () ->
-                    resume_continuation t k)))
+                enqueue ~label engine ~at:engine.now (fun () -> continue k ())))
     | _ -> None
   in
   { retc = Fun.id; exnc = raise; effc }
@@ -123,90 +116,93 @@ let spawn t ?at f =
   let at = match at with None -> t.now | Some at -> at in
   enqueue t ~at (fun () -> Effect.Deep.match_with f () (handler t))
 
-(* Pop the next event under the active tie-break policy. FIFO is the
-   plain heap pop. Otherwise the whole tie set (all events at the minimum
-   time, in seq order) is drawn, one member is chosen — uniformly from
-   the seeded stream, by the recorded decision, or by the guided
-   callback — and the rest are pushed back with their original seq,
-   preserving their relative order. Decisions are recorded only for tie
-   sets larger than one, so a replay consumes them at exactly the
-   positions the recording produced them. *)
-let pop_next t =
-  match t.policy with
-  | P_fifo -> Heap.pop_min t.events
-  | _ -> (
-      match Heap.pop_min t.events with
-      | None -> None
-      | Some ((time, _, _) as first) ->
-          let ties = ref [ first ] in
-          let n = ref 1 in
-          let rec collect () =
-            match Heap.peek_time t.events with
-            | Some tm when tm = time -> (
-                match Heap.pop_min t.events with
-                | Some e ->
-                    ties := e :: !ties;
-                    incr n;
-                    collect ()
-                | None -> ())
-            | Some _ | None -> ()
+(* Pop one event of the tie set at the minimum [time] under the active
+   non-FIFO policy, returning [(label, action)]. The whole tie set (all
+   events at the minimum time, in seq order) is drawn, one member is
+   chosen — uniformly from the seeded stream, by the recorded decision, or
+   by the guided callback — and the rest are pushed back with their
+   original seq and label, preserving their relative order. Decisions are
+   recorded only for tie sets larger than one, so a replay consumes them
+   at exactly the positions the recording produced them. *)
+let pop_tie_set t time =
+  let seq0 = Heap.min_seq t.events in
+  let aux0 = Heap.min_aux t.events in
+  let v0 = Heap.pop_unsafe t.events in
+  let ties = ref [ (seq0, aux0, v0) ] in
+  let n = ref 1 in
+  while (not (Heap.is_empty t.events)) && Heap.min_time t.events = time do
+    let s = Heap.min_seq t.events in
+    let a = Heap.min_aux t.events in
+    let v = Heap.pop_unsafe t.events in
+    ties := (s, a, v) :: !ties;
+    incr n
+  done;
+  if !n = 1 then (aux0, v0)
+  else begin
+    let arr = Array.of_list (List.rev !ties) in
+    let choice =
+      match t.policy with
+      | P_fifo -> 0
+      | P_seeded rng -> Rng.int rng !n
+      | P_replay r ->
+          let c =
+            if r.pos < Array.length r.choices then r.choices.(r.pos) else 0
           in
-          collect ();
-          if !n = 1 then Some first
-          else begin
-            let arr = Array.of_list (List.rev !ties) in
-            let choice =
-              match t.policy with
-              | P_fifo -> 0
-              | P_seeded rng -> Rng.int rng !n
-              | P_replay r ->
-                  let c =
-                    if r.pos < Array.length r.choices then r.choices.(r.pos)
-                    else 0
-                  in
-                  r.pos <- r.pos + 1;
-                  if c < 0 || c >= !n then 0 else c
-              | P_guided f ->
-                  let alts =
-                    Array.map (fun (_, seq, ev) -> { seq; label = ev.label }) arr
-                  in
-                  let c = f alts in
-                  if c < 0 || c >= !n then
-                    invalid_arg "Engine: guided tie-break chose out of range";
-                  c
-            in
-            t.choices_rev <- choice :: t.choices_rev;
-            t.n_choices <- t.n_choices + 1;
-            Array.iteri
-              (fun i (tm, seq, v) ->
-                if i <> choice then Heap.push t.events ~time:tm ~seq v)
-              arr;
-            Some arr.(choice)
-          end)
+          r.pos <- r.pos + 1;
+          if c < 0 || c >= !n then 0 else c
+      | P_guided f ->
+          let alts = Array.map (fun (seq, aux, _) -> { seq; label = aux }) arr in
+          let c = f alts in
+          if c < 0 || c >= !n then
+            invalid_arg "Engine: guided tie-break chose out of range";
+          c
+    in
+    t.choices_rev <- choice :: t.choices_rev;
+    t.n_choices <- t.n_choices + 1;
+    Array.iteri
+      (fun i (seq, aux, v) ->
+        if i <> choice then Heap.push t.events ~time ~seq ~aux v)
+      arr;
+    let _, aux, v = arr.(choice) in
+    (aux, v)
+  end
 
 let run ?(until = infinity) t =
   t.stopped <- false;
-  let continue_running = ref true in
-  while !continue_running && not t.stopped do
-    match Heap.peek_time t.events with
-    | None -> continue_running := false
-    | Some time when time > until ->
-        (* Leave the event queued; a later [run] can resume it. *)
-        t.now <- until;
-        continue_running := false
-    | Some _ ->
-        (match pop_next t with
-        | None -> assert false
-        | Some (time, _, ev) ->
-            t.now <- time;
-            t.executed <- t.executed + 1;
-            t.cur_label <- ev.label;
-            let saved = !current in
-            current := Some t;
-            Fun.protect
-              ~finally:(fun () -> current := saved)
-              ev.action)
-  done;
+  let saved = !current in
+  current := Some t;
+  Fun.protect
+    ~finally:(fun () -> current := saved)
+    (fun () ->
+      let continue_running = ref true in
+      while !continue_running && not t.stopped do
+        if Heap.is_empty t.events then continue_running := false
+        else begin
+          let time = Heap.min_time t.events in
+          if time > until then begin
+            (* Leave the event queued; a later [run] can resume it. *)
+            t.now <- until;
+            continue_running := false
+          end
+          else
+            match t.policy with
+            | P_fifo ->
+                (* The hot path: a plain heap pop, no tie-set machinery,
+                   no allocation. *)
+                let label = Heap.min_aux t.events in
+                let action = Heap.pop_unsafe t.events in
+                t.now <- time;
+                t.executed <- t.executed + 1;
+                t.cur_label <- label;
+                action ()
+            | _ ->
+                let label, action = pop_tie_set t time in
+                t.now <- time;
+                t.executed <- t.executed + 1;
+                t.cur_label <- label;
+                action ()
+        end
+      done);
   t.cur_label <- 0;
   t.now
 

@@ -1,74 +1,217 @@
-type 'a entry = { time : float; seq : int; value : 'a }
+(* Structure-of-arrays 4-ary min-heap keyed by (time, seq).
 
-type 'a t = { mutable data : 'a entry array; mutable size : int }
+   The simulator executes millions of events per run, so the event queue's
+   per-entry cost decides the engine's throughput. Two layout decisions
+   drive the design:
 
-let create () = { data = [||]; size = 0 }
+   - Entries are parallel channels (an unboxed [float array] of times plus
+     [int array]s) instead of an array of records, so sifting moves machine
+     words without allocating.
+
+   - Payloads (and their aux ints) never move during a sift. Each entry
+     owns a stable slot in [values]/[auxs]; the heap permutes only the
+     [slots : int array] channel. A generic ['a array] store compiles to
+     a [caml_modify] write barrier, which costs more than every comparison
+     in the sift combined — with the indirection, the barrier is paid once
+     per push instead of once per level, and the sift itself touches only
+     unboxed arrays.
+
+   The tree is 4-ary (children of [i] are [4i+1 .. 4i+4]): half the depth
+   of a binary heap means half the channel moves per sift, and the wider
+   min-child scan stays within one cache line per node. (time, seq) keys
+   are totally ordered in the engine (seq is a unique stamp), so the pop
+   sequence is independent of arity and internal layout — rewriting the
+   sift strategy cannot perturb event order.
+
+   The hot-path API ([min_time]/[min_seq]/[min_aux]/[pop_unsafe]) never
+   allocates; the option-returning entry points ([pop_min]/[peek_time])
+   remain for callers off the hot path. *)
+
+type 'a t = {
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable slots : int array; (* heap position -> index into [values] *)
+  mutable values : 'a array; (* slot -> payload; stable across sifts *)
+  mutable auxs : int array; (* slot -> aux; stable across sifts *)
+  mutable free : int array; (* stack of recycled slots *)
+  mutable n_free : int;
+  mutable size : int;
+}
+
+(* Placeholder for empty payload slots. An immediate, so [Array.make] never
+   builds a flat float array even at ['a = float], keeping the generic
+   reads/writes below representation-correct for every ['a]. *)
+let dummy : 'a = Obj.magic 0
+
+let create () =
+  {
+    times = [||];
+    seqs = [||];
+    auxs = [||];
+    slots = [||];
+    values = [||];
+    free = [||];
+    n_free = 0;
+    size = 0;
+  }
 
 let length t = t.size
 
-let is_empty t = t.size = 0
+let[@inline] is_empty t = t.size = 0
 
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+(* Key of the minimum entry, readable without popping and without
+   allocating (callers compare the float directly). *)
+let[@inline] min_time t =
+  if t.size = 0 then infinity else Array.unsafe_get t.times 0
 
-let grow t entry =
-  let capacity = Array.length t.data in
-  if t.size = capacity then begin
-    let new_capacity = if capacity = 0 then 16 else capacity * 2 in
-    let data = Array.make new_capacity entry in
-    Array.blit t.data 0 data 0 t.size;
-    t.data <- data
-  end
+let[@inline] min_seq t = if t.size = 0 then -1 else Array.unsafe_get t.seqs 0
 
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if before t.data.(i) t.data.(parent) then begin
-      let tmp = t.data.(i) in
-      t.data.(i) <- t.data.(parent);
-      t.data.(parent) <- tmp;
-      sift_up t parent
+let[@inline] min_aux t =
+  if t.size = 0 then 0
+  else Array.unsafe_get t.auxs (Array.unsafe_get t.slots 0)
+
+let grow t =
+  let capacity = Array.length t.times in
+  let new_capacity = if capacity = 0 then 16 else capacity * 2 in
+  let times = Array.make new_capacity 0.0 in
+  let seqs = Array.make new_capacity 0 in
+  let auxs = Array.make new_capacity 0 in
+  let slots = Array.make new_capacity 0 in
+  let values = Array.make new_capacity dummy in
+  let free = Array.make new_capacity 0 in
+  Array.blit t.times 0 times 0 t.size;
+  Array.blit t.seqs 0 seqs 0 t.size;
+  Array.blit t.slots 0 slots 0 t.size;
+  Array.blit t.values 0 values 0 (Array.length t.values);
+  Array.blit t.auxs 0 auxs 0 (Array.length t.auxs);
+  Array.blit t.free 0 free 0 t.n_free;
+  t.times <- times;
+  t.seqs <- seqs;
+  t.slots <- slots;
+  t.values <- values;
+  t.auxs <- auxs;
+  t.free <- free
+
+let arity = 4
+
+let push t ~time ~seq ?(aux = 0) value =
+  if t.size = Array.length t.times then grow t;
+  (* Slot bookkeeping: live slots always number [size], so when the free
+     stack is empty, slot [size] is untouched and fresh. *)
+  let slot =
+    if t.n_free > 0 then begin
+      let nf = t.n_free - 1 in
+      t.n_free <- nf;
+      Array.unsafe_get t.free nf
     end
-  end
-
-let rec sift_down t i =
-  let left = (2 * i) + 1 in
-  let right = left + 1 in
-  let smallest = ref i in
-  if left < t.size && before t.data.(left) t.data.(!smallest) then
-    smallest := left;
-  if right < t.size && before t.data.(right) t.data.(!smallest) then
-    smallest := right;
-  if !smallest <> i then begin
-    let tmp = t.data.(i) in
-    t.data.(i) <- t.data.(!smallest);
-    t.data.(!smallest) <- tmp;
-    sift_down t !smallest
-  end
-
-let push t ~time ~seq value =
-  let entry = { time; seq; value } in
-  grow t entry;
-  t.data.(t.size) <- entry;
+    else t.size
+  in
+  Array.unsafe_set t.values slot value;
+  Array.unsafe_set t.auxs slot aux;
+  let times = t.times and seqs = t.seqs in
+  let slots = t.slots in
+  (* Sift the hole up, then write the new entry once. *)
+  let i = ref t.size in
   t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / arity in
+    let pt = Array.unsafe_get times parent in
+    if time < pt || (time = pt && seq < Array.unsafe_get seqs parent) then begin
+      Array.unsafe_set times !i pt;
+      Array.unsafe_set seqs !i (Array.unsafe_get seqs parent);
+      Array.unsafe_set slots !i (Array.unsafe_get slots parent);
+      i := parent
+    end
+    else continue := false
+  done;
+  Array.unsafe_set times !i time;
+  Array.unsafe_set seqs !i seq;
+  Array.unsafe_set slots !i slot
+
+(* Remove the minimum entry and return its payload without allocating.
+   Read [min_time]/[min_seq]/[min_aux] first if the key is needed. *)
+let pop_unsafe t =
+  let n = t.size - 1 in
+  if n < 0 then invalid_arg "Heap.pop_unsafe: empty heap";
+  let times = t.times and seqs = t.seqs in
+  let slots = t.slots in
+  let root_slot = Array.unsafe_get slots 0 in
+  (* The popped payload is left in its slot rather than cleared: clearing
+     a generic ['a array] cell is a [caml_modify] per pop, and the stale
+     reference lives only until the slot is reused (the free stack is
+     LIFO) — the same bounded retention the previous record-array layout
+     had. [clear] drops the whole array. *)
+  let root = Array.unsafe_get t.values root_slot in
+  let nf = t.n_free in
+  Array.unsafe_set t.free nf root_slot;
+  t.n_free <- nf + 1;
+  t.size <- n;
+  if n > 0 then begin
+    (* Sift the displaced last entry down from the root as a hole. The
+       min-child comparisons are written out inline: the non-flambda
+       compiler does not reliably inline a comparison helper here, and an
+       out-of-line call per child costs more than the whole sift. *)
+    let time = Array.unsafe_get times n in
+    let seq = Array.unsafe_get seqs n in
+    let slot = Array.unsafe_get slots n in
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let first = (arity * !i) + 1 in
+      if first >= n then continue := false
+      else begin
+        (* Smallest of the up-to-four children. *)
+        let c = ref first in
+        let ct = ref (Array.unsafe_get times first) in
+        let last = if first + 3 < n then first + 3 else n - 1 in
+        for j = first + 1 to last do
+          let jt = Array.unsafe_get times j in
+          if
+            jt < !ct
+            || (jt = !ct && Array.unsafe_get seqs j < Array.unsafe_get seqs !c)
+          then begin
+            c := j;
+            ct := jt
+          end
+        done;
+        let c = !c in
+        let ct = !ct in
+        if ct < time || (ct = time && Array.unsafe_get seqs c < seq) then begin
+          Array.unsafe_set times !i ct;
+          Array.unsafe_set seqs !i (Array.unsafe_get seqs c);
+          Array.unsafe_set slots !i (Array.unsafe_get slots c);
+          i := c
+        end
+        else continue := false
+      end
+    done;
+    Array.unsafe_set times !i time;
+    Array.unsafe_set seqs !i seq;
+    Array.unsafe_set slots !i slot
+  end;
+  root
 
 let pop_min t =
   if t.size = 0 then None
   else begin
-    let root = t.data.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.data.(0) <- t.data.(t.size);
-      sift_down t 0
-    end;
-    Some (root.time, root.seq, root.value)
+    let time = Array.unsafe_get t.times 0 in
+    let seq = Array.unsafe_get t.seqs 0 in
+    let value = pop_unsafe t in
+    Some (time, seq, value)
   end
 
-let peek_time t = if t.size = 0 then None else Some t.data.(0).time
+let peek_time t = if t.size = 0 then None else Some t.times.(0)
 
 let clear t =
-  (* O(1) reset; dropping the backing array also releases the entries'
+  (* O(1) reset; dropping the backing arrays also releases the payloads'
      closures to the GC, which matters when a crash discards a large
      event backlog. *)
-  t.data <- [||];
+  t.times <- [||];
+  t.seqs <- [||];
+  t.slots <- [||];
+  t.values <- [||];
+  t.auxs <- [||];
+  t.free <- [||];
+  t.n_free <- 0;
   t.size <- 0

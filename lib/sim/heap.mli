@@ -1,6 +1,14 @@
-(** Binary min-heap keyed by [(time, seq)], used as the simulator's event
+(** 4-ary min-heap keyed by [(time, seq)], used as the simulator's event
     queue. [seq] breaks ties so that events scheduled at the same instant
-    fire in insertion order, which keeps simulations deterministic. *)
+    fire in insertion order, which keeps simulations deterministic.
+
+    Entries are stored structure-of-arrays (flat [float array] keys, no
+    per-entry record; payloads sit in stable slots so sifting never moves
+    them), and the [min_*]/[pop_unsafe] entry points neither allocate nor
+    box, so the engine's event loop can run allocation-free.
+    Each entry also carries an auxiliary [int] channel ([aux], default 0) —
+    the engine rides its scheduling labels on it so it needs no per-event
+    record of its own. *)
 
 type 'a t
 
@@ -10,15 +18,34 @@ val length : 'a t -> int
 
 val is_empty : 'a t -> bool
 
-(** [push t ~time ~seq v] inserts [v] with priority [(time, seq)]. *)
-val push : 'a t -> time:float -> seq:int -> 'a -> unit
+(** [push t ~time ~seq ?aux v] inserts [v] with priority [(time, seq)] and
+    auxiliary payload [aux] (default [0]). Does not allocate beyond
+    occasional capacity doubling. *)
+val push : 'a t -> time:float -> seq:int -> ?aux:int -> 'a -> unit
+
+(** [min_time t] is the key time of the minimum entry, or [infinity] when
+    the heap is empty. Never allocates. *)
+val min_time : 'a t -> float
+
+(** [min_seq t] is the seq of the minimum entry, or [-1] when empty. *)
+val min_seq : 'a t -> int
+
+(** [min_aux t] is the aux channel of the minimum entry, or [0] when
+    empty. *)
+val min_aux : 'a t -> int
+
+(** [pop_unsafe t] removes the minimum entry and returns its payload
+    without allocating. Read [min_time]/[min_seq]/[min_aux] {e before}
+    popping if the key is needed. @raise Invalid_argument on an empty
+    heap. *)
+val pop_unsafe : 'a t -> 'a
 
 (** [pop_min t] removes and returns the entry with the smallest key, or
-    [None] when the heap is empty. *)
+    [None] when the heap is empty. Allocates; off-hot-path compat API. *)
 val pop_min : 'a t -> (float * int * 'a) option
 
 (** [peek_time t] is the key time of the minimum entry without removing
-    it. *)
+    it. Allocates an option; hot paths use {!min_time}. *)
 val peek_time : 'a t -> float option
 
 (** [clear t] drops every entry in O(1), releasing the backing storage. *)

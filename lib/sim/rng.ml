@@ -7,12 +7,12 @@ let create seed = { state = seed }
 let copy t = { state = t.state }
 
 (* SplitMix64 finalizer (Steele, Lea, Flood 2014). *)
-let mix z =
+let[@inline] mix z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let next_int64 t =
+let[@inline] next_int64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix t.state
 
@@ -25,10 +25,13 @@ let float t =
   let bits = Int64.shift_right_logical (next_int64 t) 11 in
   Int64.to_float bits *. (1.0 /. 9007199254740992.0)
 
+(* Hoisted out of [int]: building the mask per draw allocated a boxed
+   Int64 on a path the workload generators hit once per operation. *)
+let int_mask = Int64.of_int max_int
+
 let int t bound =
   assert (bound > 0);
-  let mask = Int64.of_int max_int in
-  let v = Int64.to_int (Int64.logand (next_int64 t) mask) in
+  let v = Int64.to_int (Int64.logand (next_int64 t) int_mask) in
   v mod bound
 
 let bool t = Int64.logand (next_int64 t) 1L = 1L

@@ -63,6 +63,20 @@ let gauge_int t name f = gauge t name (fun () -> Int (f ()))
 
 let gauge_float t name f = gauge t name (fun () -> Float (f ()))
 
+(* Host-process GC gauges. These read wall-process state, not simulated
+   state: they exist so a --stats-json export records how much real
+   allocation a run cost, next to the virtual-time metrics. Reading
+   [Gc.quick_stat] never triggers a collection and never touches the
+   event queue, so the determinism invariant holds. *)
+let register_gc t =
+  gauge_float t "process.gc.minor_words" (fun () -> Gc.minor_words ());
+  gauge_int t "process.gc.minor_collections" (fun () ->
+      (Gc.quick_stat ()).Gc.minor_collections);
+  gauge_int t "process.gc.major_collections" (fun () ->
+      (Gc.quick_stat ()).Gc.major_collections);
+  gauge_int t "process.gc.heap_words" (fun () ->
+      (Gc.quick_stat ()).Gc.heap_words)
+
 let histogram t name =
   match Hashtbl.find_opt t.table name with
   | Some (Histogram h) -> h

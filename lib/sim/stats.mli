@@ -53,6 +53,13 @@ val gauge_int : t -> string -> (unit -> int) -> unit
 
 val gauge_float : t -> string -> (unit -> float) -> unit
 
+(** [register_gc t] registers host-process GC gauges under
+    ["process.gc.minor_words"], ["process.gc.minor_collections"],
+    ["process.gc.major_collections"] and ["process.gc.heap_words"], so
+    JSON exports record the run's real allocation behaviour alongside the
+    virtual-time metrics. Reads [Gc.quick_stat] at snapshot time only. *)
+val register_gc : t -> unit
+
 (** [histogram t name] get-or-creates a histogram (see {!counter} for
     sharing semantics).
     @raise Invalid_argument if [name] is bound to a non-histogram. *)

@@ -8,9 +8,15 @@ type t = {
   mutable zeta2 : float;
   mutable alpha : float;
   mutable eta : float;
-  (* For theta >= 1 the YCSB closed form breaks down; we fall back to an
-     explicit CDF table with binary search. *)
-  mutable cdf : float array;
+  (* For theta >= 1 the YCSB closed form breaks down; we draw from a Vose
+     alias table instead: O(1) per draw (two array reads) where the CDF
+     binary search it replaces paid log2(items) data-dependent cache
+     misses. Consumes exactly one [Rng.float] per draw, like every other
+     path, so switching strategies never shifts the RNG stream seen by the
+     rest of the workload. [prob.(j)] is the acceptance threshold for
+     column j; on rejection the draw falls to [alias.(j)]. *)
+  mutable prob : float array;
+  mutable alias : int array;
 }
 
 (* Incremental zeta: zeta(n2) = zeta(n1) + sum_{i=n1+1..n2} 1/i^theta. *)
@@ -21,6 +27,60 @@ let zeta_increment ~from ~to_ ~theta acc =
   done;
   !acc
 
+(* Vose's alias method (Vose 1991): linear-time construction. Columns with
+   scaled weight < 1 are topped up by donors with weight > 1; every column
+   ends up as a threshold plus at most one alias, so sampling is a single
+   uniform draw split into a column index and an acceptance test. *)
+let build_alias t =
+  let n = t.items in
+  let prob = Array.make n 1.0 in
+  let alias = Array.make n 0 in
+  let scaled = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    let w = 1.0 /. Float.pow (float_of_int (i + 1)) t.theta in
+    scaled.(i) <- w;
+    total := !total +. w
+  done;
+  let k = float_of_int n /. !total in
+  for i = 0 to n - 1 do
+    scaled.(i) <- scaled.(i) *. k
+  done;
+  (* Worklists of under- and over-full columns, as stacks. *)
+  let small = Array.make n 0 in
+  let large = Array.make n 0 in
+  let ns = ref 0 in
+  let nl = ref 0 in
+  for i = 0 to n - 1 do
+    if scaled.(i) < 1.0 then begin
+      small.(!ns) <- i;
+      incr ns
+    end
+    else begin
+      large.(!nl) <- i;
+      incr nl
+    end
+  done;
+  while !ns > 0 && !nl > 0 do
+    decr ns;
+    let s = small.(!ns) in
+    let l = large.(!nl - 1) in
+    prob.(s) <- scaled.(s);
+    alias.(s) <- l;
+    let rest = scaled.(l) +. scaled.(s) -. 1.0 in
+    scaled.(l) <- rest;
+    if rest < 1.0 then begin
+      (* The donor dropped below full: demote it to the small list. *)
+      decr nl;
+      small.(!ns) <- l;
+      incr ns
+    end
+  done;
+  (* Whatever remains (on either list) is full up to rounding: threshold
+     1.0, alias never taken. [prob] was initialised to 1.0. *)
+  t.prob <- prob;
+  t.alias <- alias
+
 let recompute t =
   if t.theta < 1.0 then begin
     t.alpha <- 1.0 /. (1.0 -. t.theta);
@@ -28,21 +88,10 @@ let recompute t =
     t.eta <-
       (1.0 -. Float.pow (2.0 /. n) (1.0 -. t.theta))
       /. (1.0 -. (t.zeta2 /. t.zetan));
-    t.cdf <- [||]
+    t.prob <- [||];
+    t.alias <- [||]
   end
-  else begin
-    let cdf = Array.make t.items 0.0 in
-    let acc = ref 0.0 in
-    for i = 0 to t.items - 1 do
-      acc := !acc +. (1.0 /. Float.pow (float_of_int (i + 1)) t.theta);
-      cdf.(i) <- !acc
-    done;
-    let total = !acc in
-    for i = 0 to t.items - 1 do
-      cdf.(i) <- cdf.(i) /. total
-    done;
-    t.cdf <- cdf
-  end
+  else build_alias t
 
 let create ~items ~theta rng =
   if items <= 0 then invalid_arg "Zipfian.create: items <= 0";
@@ -50,7 +99,17 @@ let create ~items ~theta rng =
   let zetan = zeta_increment ~from:0 ~to_:items ~theta 0.0 in
   let zeta2 = zeta_increment ~from:0 ~to_:2 ~theta 0.0 in
   let t =
-    { rng; theta; items; zetan; zeta2; alpha = 0.0; eta = 0.0; cdf = [||] }
+    {
+      rng;
+      theta;
+      items;
+      zetan;
+      zeta2;
+      alpha = 0.0;
+      eta = 0.0;
+      prob = [||];
+      alias = [||];
+    }
   in
   recompute t;
   t
@@ -67,14 +126,13 @@ let grow t ~items =
 let next_rank t =
   if t.theta = 0.0 then Rng.int t.rng t.items
   else if t.theta >= 1.0 then begin
+    (* One uniform drives both the column choice (integer part) and the
+       acceptance test (fractional part). u < 1, so j < items. *)
     let u = Rng.float t.rng in
-    (* First index whose CDF value is >= u. *)
-    let lo = ref 0 and hi = ref (t.items - 1) in
-    while !lo < !hi do
-      let mid = (!lo + !hi) / 2 in
-      if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
-    done;
-    !lo
+    let x = u *. float_of_int t.items in
+    let j = int_of_float x in
+    if x -. float_of_int j < Array.unsafe_get t.prob j then j
+    else Array.unsafe_get t.alias j
   end
   else begin
     let u = Rng.float t.rng in

@@ -10,8 +10,9 @@
 type t
 
 (** [create ~items ~theta rng]. [theta] is the Zipfian constant (YCSB
-    default 0.99); [theta = 0] degenerates to uniform; [theta >= 1] uses
-    an explicit CDF table (the paper sweeps up to 1.5). *)
+    default 0.99); [theta = 0] degenerates to uniform; [theta >= 1] draws
+    from a Vose alias table in O(1) (the paper sweeps up to 1.5). Every
+    path consumes exactly one RNG draw per rank. *)
 val create : items:int -> theta:float -> Prism_sim.Rng.t -> t
 
 (** Draw the next rank in [\[0, items)]; rank 0 is the most popular. *)

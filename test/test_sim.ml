@@ -726,6 +726,167 @@ let test_span_chrome_export () =
   Alcotest.(check bool) "escaped name" true (contains {|op \"q\"|});
   Alcotest.(check bool) "tid kept" true (contains {|"tid":3|})
 
+
+(* ---- Heap model check (qcheck) ---- *)
+
+(* Random pushes (times from a tiny set, to force ties) interleaved with
+   pops, against a sorted-list reference. Checks the full key triple
+   (time, seq, aux) through the non-allocating min_* reads as well as the
+   popped payloads, then drains both to the end. *)
+let prop_heap_model =
+  qcase ~count:300 "heap matches sorted-list model"
+    QCheck.(list (pair (int_bound 9) bool))
+    (fun ops ->
+      let h = Heap.create () in
+      let model = ref [] in
+      let seq = ref 0 in
+      let ok = ref true in
+      let min_agrees () =
+        match !model with
+        | [] -> Heap.is_empty h
+        | (t, s, a, _) :: _ ->
+            Heap.min_time h = t && Heap.min_seq h = s && Heap.min_aux h = a
+      in
+      let pop_agrees () =
+        ok := !ok && min_agrees ();
+        match (Heap.pop_min h, !model) with
+        | Some (t, s, v), (mt, ms, _, mv) :: rest ->
+            ok := !ok && t = mt && s = ms && v = mv;
+            model := rest
+        | None, [] -> ()
+        | _ -> ok := false
+      in
+      List.iter
+        (fun (digit, is_pop) ->
+          if is_pop && !model <> [] then pop_agrees ()
+          else begin
+            let time = float_of_int digit /. 2.0 in
+            let s = !seq in
+            incr seq;
+            Heap.push h ~time ~seq:s ~aux:(s * 7) s;
+            model := List.sort compare ((time, s, s * 7, s) :: !model)
+          end)
+        ops;
+      while !model <> [] do
+        pop_agrees ()
+      done;
+      ok := !ok && Heap.is_empty h;
+      !ok)
+
+let test_heap_clear_reuse () =
+  let h = Heap.create () in
+  for i = 0 to 40 do
+    Heap.push h ~time:(float_of_int (i mod 5)) ~seq:i ~aux:i i
+  done;
+  ignore (Heap.pop_unsafe h);
+  Heap.clear h;
+  Alcotest.(check bool) "empty after clear" true (Heap.is_empty h);
+  Alcotest.(check int) "length zero" 0 (Heap.length h);
+  Heap.push h ~time:2.0 ~seq:100 ~aux:9 100;
+  Heap.push h ~time:1.0 ~seq:101 ~aux:8 101;
+  Alcotest.(check int) "min aux after reuse" 8 (Heap.min_aux h);
+  match Heap.pop_min h with
+  | Some (t, s, v) ->
+      Alcotest.(check (float 0.0)) "time" 1.0 t;
+      Alcotest.(check int) "seq" 101 s;
+      Alcotest.(check int) "value" 101 v
+  | None -> Alcotest.fail "expected entry"
+
+(* record_span must round to nearest nanosecond, not truncate: every case
+   here sits just above or below a .5 ns boundary, where truncation would
+   shift the sample down a bucket. *)
+let test_hist_record_span_rounding () =
+  let recorded span =
+    let h = Hist.create () in
+    Hist.record_span h span;
+    Hist.max_value h
+  in
+  Alcotest.(check int) "0.4 ns down" 0 (recorded 0.4e-9);
+  Alcotest.(check int) "0.6 ns up" 1 (recorded 0.6e-9);
+  Alcotest.(check int) "1.0 ns exact" 1 (recorded 1.0e-9);
+  Alcotest.(check int) "2.6 ns up" 3 (recorded 2.6e-9);
+  (* 63.6 ns straddles the linear/log bucket boundary at 64. *)
+  Alcotest.(check int) "63.6 ns up across boundary" 64 (recorded 63.6e-9)
+
+(* ---- Determinism goldens ---- *)
+
+(* Captured from the engine BEFORE the structure-of-arrays heap and
+   streamlined run loop landed (commit f33d1b7's implementation): the
+   rewrite must replay the exact same event order, tie-break draws, and
+   store behaviour. If one of these fails, the event queue's observable
+   semantics changed — that is a correctness bug, not a stale test. *)
+
+let golden_engine_clock = 9.5
+let golden_engine_executed = 500
+let golden_engine_choices = "11,8,0,14,14,3,4,6,5,14,11,1,8,1,3,3,2,5,1,3,2,2,0,3,0,15,6,2,12,8,6,7,3,1,2,2,1,0,0,0,3,17,10,21,8,11,18,1,6,12,0,1,12,5,11,2,9,3,0,1,2,1,1,2,1,0,31,11,4,21,12,22,13,22,5,24,6,15,8,14,3,3,9,5,11,2,1,2,10,6,6,1,4,2,5,4,1,1,0,12,1,10,5,17,4,2,15,13,4,0,10,6,2,10,3,7,3,4,1,0,4,0,1,1,17,8,12,0,8,11,4,14,15,11,15,1,5,10,6,2,0,5,0,2,5,5,0,1,2,0,21,22,0,16,0,11,15,1,4,17,16,10,11,10,10,11,3,3,7,1,1,1,4,3,2,0,19,17,16,6,8,4,9,13,8,3,4,0,8,9,2,5,0,3,1,1,0,0,29,29,12,12,10,2,17,19,8,8,17,4,0,17,6,0,1,14,2,0,2,8,5,6,0,6,5,3,4,3,0,0,8,4,1,5,2,2,0,6,6,1,0,3,2,0,15,7,4,6,7,10,16,5,14,9,10,7,0,7,1,7,6,3,4,2,1,1,23,20,22,16,10,11,17,12,13,5,6,0,13,2,10,5,6,2,2,4,2,2,1,1,1,8,7,8,10,4,2,4,6,3,4,3,3,1,2,1,20,20,1,1,16,5,4,10,4,13,11,2,0,5,4,0,1,0,5,3,1,0,1,23,0,10,9,17,1,3,1,2,13,13,13,1,10,1,0,3,5,0,4,1,3,0,1,14,3,30,11,1,25,9,2,2,1,13,19,0,13,8,1,11,14,7,8,1,4,0,7,6,5,4,1,2,2,2,1,7,13,10,16,11,5,7,5,12,3,6,4,2,7,0,0,0,2,2,1,4,19,6,19,0,0,13,8,0,1,1,12,1,3,9,4,5,2,3,2,2,0,0,21,16,15,1,12,9,13,21,4,15,8,7,10,4,14,6,9,7,8,7,8,6,4,1,0,1,2,0,1,19,17,6,1,19,5,10,13,0,7,4,12,9,6,0,5,0,4,2,0,0,2,1"
+let golden_prism_clock = "6.2645077399380952e-05"
+let golden_prism_executed = 1518
+let golden_prism_choices = "2,3,3,2,0,2,1,0,1,0,1,0,0,1,0,0,1,1,1,0,0,1,1,1,0,1,1,1,1,1,1,0,1,0,1,1,1,1,0,0,0,1,0,1,1,0,0,1,0,1,1,0,0,1,1,1,1,0,0,0,0,0,0,0,0,1,0,0,1,0,0,1,0,0,0,1,1,0,0,1,1,1,0,1,1,0,0,0,0,0,1,1,1,0,0,1,1,0,1,0,0,1,0,0,0,1,0,0,1,0,1,0,0,1,1,1,0,0,1,1,0,0,0,0,1,1,0,1,1,0,1,0,1,1,1,0,0,0,1,0,0,0,0,1,1,0,1,0,0,1,1,1,1,1,0,1,0,1,1,1,1,0,0,0,1,1,1,1,1,1,1,0,0,1,0,0,0,0,1,1,1,1,1,1,1,1,0,1,0,1,0,0,1,0,0,1,1,1,0,1,0,1,0,1,0,1,0,0,1,1,1,1,1,1,1,0,0,1,1,0,1,0,0,1,0,1,1,0,1,0,0,1,1,0,0,0,0,0,0,0,1,1,1,0,1,1,1,1,0,0,1,0,0,1,0,0,1,1,0,0,0,0,0,0,1,0,1,0,1,0,1,1,0,1,0,0,1,1,0,1,0,0,0,1,0,1,1,1,1,0,0,1,1,0,0,1,0,0,0,0,1,1,1,0,1,1,1,1,0,0,0,1,0,0,1,0,0,1,0,1,0,0,1,1,1,1,1,1,0,1,0,1,0,1,0,1,0,0,1,0,0,0,0,1,0,0,0,0,0,1,1,1,0,0,0,0,0,1,1,0,1,1,0,1,0,0,0,0,1,1,0,1,1,1,0,1,1,0,0,0,1,1,0,0,1,0,1,1,1,0,0,1,1,0,0,1,1,0,1,0,0,0,0,1,0,0,1,0,0,0,0,1,0,1,1,0,0,1,1,0,0,0,0,1,0,0,0,1,1,0,1,0,0,0,1,1,1,0,0,1,0,1,0,1,1,1,0,1,1,0,0,1,1,0,1,1,0,0,1,0,0,0,1,0,0,1,0,0,1,0,0,1,0,1,1,0,0,1,1,0,0,0,0,1,1,0,1,1,1,1,1,1,0,0,0,1,1,0,0,1,1,1,0,1,1,1,0,1,0,1,1,0,0,0,0,0,0,1,0,1,0,1,1,0,1,0,0,1,1,0,0,0,0,0,1,0,0,0,1,0,0,1,1,0,0,0,0,1,0,1,0,1,1,0,1,1,1,1,0,0,1,0,0,0,0,0,0,0,0,0,0,1,1,0,1,1,1,1,1,1,1,0,1,1,1,1,1,1,0,0,1,1,0,1,0,0,1,0,1,0,1,1,0,0,1,0,0,1,0,1,0,1,0,0,0,1,1,0,1,1,1,1,0,1,0,0,1,0,0,1,1,1,0,0,0,0,1"
+let golden_prism_stats = "78,42,0,18,0,24"
+
+let choices_string engine =
+  String.concat ","
+    (Array.to_list (Array.map string_of_int (Engine.recorded_choices engine)))
+
+let test_golden_engine_schedule () =
+  let engine = Engine.create () in
+  Engine.set_tie_break engine (Engine.Seeded 123L);
+  let rng = Rng.create 7L in
+  let buf = Buffer.create 4096 in
+  for id = 0 to 499 do
+    let at = float_of_int (Rng.int rng 20) *. 0.5 in
+    Engine.spawn engine ~at (fun () ->
+        Buffer.add_string buf
+          (Printf.sprintf "%d@%.1f;" id (Engine.now engine)))
+  done;
+  let clock = Engine.run engine in
+  Alcotest.(check (float 0.0)) "clock" golden_engine_clock clock;
+  Alcotest.(check int) "executed" golden_engine_executed
+    (Engine.events_executed engine);
+  Alcotest.(check string) "tie-break draws" golden_engine_choices
+    (choices_string engine)
+
+let test_golden_prism_run () =
+  let engine = Engine.create () in
+  Engine.set_tie_break engine (Engine.Seeded 42L);
+  let store_ref = ref None in
+  Engine.spawn engine (fun () ->
+      let cfg =
+        {
+          (Prism_core.Config.scaled ~threads:3 ~keys:64 ~value_size:64
+             Prism_core.Config.default)
+          with
+          Prism_core.Config.seed = 5L;
+        }
+      in
+      let store = Prism_core.Store.create engine cfg in
+      store_ref := Some store;
+      let rng = Rng.create 5L in
+      for tid = 0 to 2 do
+        Engine.spawn engine (fun () ->
+            for i = 0 to 39 do
+              let k = Printf.sprintf "key%08d" (Rng.int rng 64) in
+              if i mod 3 = 0 then ignore (Prism_core.Store.get store ~tid k)
+              else
+                Prism_core.Store.put store ~tid k
+                  (Bytes.make 64 (Char.chr (65 + (i mod 26))))
+            done)
+      done);
+  let clock = Engine.run engine in
+  Alcotest.(check string) "clock" golden_prism_clock
+    (Printf.sprintf "%.17g" clock);
+  Alcotest.(check int) "executed" golden_prism_executed
+    (Engine.events_executed engine);
+  Alcotest.(check string) "tie-break draws" golden_prism_choices
+    (choices_string engine);
+  let s = Prism_core.Store.stats (Option.get !store_ref) in
+  Alcotest.(check string) "store stats" golden_prism_stats
+    (Printf.sprintf "%d,%d,%d,%d,%d,%d" s.Prism_core.Store.puts
+       s.Prism_core.Store.gets s.Prism_core.Store.svc_hits
+       s.Prism_core.Store.pwb_hits s.Prism_core.Store.vs_reads
+       s.Prism_core.Store.misses)
+
+
 let () =
   Alcotest.run "sim"
     [
@@ -735,7 +896,9 @@ let () =
           case "fifo ties" test_heap_fifo_ties;
           case "empty" test_heap_empty;
           case "interleaved" test_heap_interleaved;
+          case "clear and reuse" test_heap_clear_reuse;
           prop_heap_sorted;
+          prop_heap_model;
         ] );
       ( "engine",
         [
@@ -803,6 +966,7 @@ let () =
           case "relative error" test_hist_relative_error;
           case "merge" test_hist_merge;
           case "record span" test_hist_record_span;
+          case "record span rounds to nearest" test_hist_record_span_rounding;
           case "negative clamped" test_hist_negative_clamped;
           prop_hist_percentile_bounds;
         ] );
@@ -826,5 +990,12 @@ let () =
           case "disabled noop" test_span_disabled_noop;
           case "self time" test_span_self_time;
           case "chrome export" test_span_chrome_export;
+        ] );
+      ( "determinism-golden",
+        [
+          case "seeded tie-breaks replay pre-rewrite schedule"
+            test_golden_engine_schedule;
+          case "prism store run replays pre-rewrite schedule"
+            test_golden_prism_run;
         ] );
     ]
