@@ -22,19 +22,35 @@
 
 open Prism_check
 
+let fault_name = function
+  | Explore.No_fault -> "none"
+  | Explore.Skip_svc_invalidate -> "svc"
+  | Explore.Skip_hsit_flush -> "hsit"
+  | Explore.Scan_stale_snapshot -> "scan-stale"
+  | Explore.Scan_skip_pwb -> "scan-skip-pwb"
+  | Explore.Scan_drop_key -> "scan-drop"
+
+let scan_check_name cfg =
+  match cfg.Explore.scan_check with `Strict -> "strict" | `Weak -> "weak"
+
+(* Replay hints must reproduce the checking setup, not just the schedule. *)
+let fault_suffix cfg =
+  (match cfg.Explore.fault with
+  | Explore.No_fault -> ""
+  | f -> " --fault " ^ fault_name f)
+  ^ match cfg.Explore.scan_check with `Weak -> " --scan-weak" | `Strict -> ""
+
 let run_explore ~schedules ~cfg ~verbose =
   Printf.printf
     "exploring %d schedules: %s, %d threads x %d ops over %d keys, seed \
-     0x%Lx, fault %s\n\
+     0x%Lx, fault %s, %s scans\n\
      %!"
     schedules
     (match cfg.Explore.store with `Prism -> "prism" | `Kvell -> "kvell")
     cfg.Explore.threads cfg.Explore.ops_per_thread cfg.Explore.records
     cfg.Explore.seed
-    (match cfg.Explore.fault with
-    | Explore.No_fault -> "none"
-    | Explore.Skip_svc_invalidate -> "svc"
-    | Explore.Skip_hsit_flush -> "hsit");
+    (fault_name cfg.Explore.fault)
+    (scan_check_name cfg);
   let progress s =
     if verbose then
       Printf.printf
@@ -58,11 +74,7 @@ let run_explore ~schedules ~cfg ~verbose =
             \  replay with: --replay 0x%Lx%s\n\
              %s\n"
             f.Explore.stats.Explore.index f.Explore.stats.Explore.tie_seed
-            (match cfg.Explore.fault with
-            | Explore.No_fault -> ""
-            | Explore.Skip_svc_invalidate -> " --fault svc"
-            | Explore.Skip_hsit_flush -> " --fault hsit")
-            f.Explore.violation)
+            (fault_suffix cfg) f.Explore.violation)
         failures);
   report.Explore.failures = []
 
@@ -82,16 +94,14 @@ let choices_to_string choices =
 let run_dpor ~max_classes ~cfg ~verbose =
   Printf.printf
     "DPOR: up to %d interleaving classes: %s, %d threads x %d ops over %d \
-     keys, seed 0x%Lx, fault %s\n\
+     keys, seed 0x%Lx, fault %s, %s scans\n\
      %!"
     max_classes
     (match cfg.Explore.store with `Prism -> "prism" | `Kvell -> "kvell")
     cfg.Explore.threads cfg.Explore.ops_per_thread cfg.Explore.records
     cfg.Explore.seed
-    (match cfg.Explore.fault with
-    | Explore.No_fault -> "none"
-    | Explore.Skip_svc_invalidate -> "svc"
-    | Explore.Skip_hsit_flush -> "hsit");
+    (fault_name cfg.Explore.fault)
+    (scan_check_name cfg);
   let progress s =
     if verbose then
       Printf.printf
@@ -114,11 +124,7 @@ let run_dpor ~max_classes ~cfg ~verbose =
              %s\n"
             f.Explore.class_index f.Explore.found_at_run
             (choices_to_string f.Explore.choices)
-            (match cfg.Explore.fault with
-            | Explore.No_fault -> ""
-            | Explore.Skip_svc_invalidate -> " --fault svc"
-            | Explore.Skip_hsit_flush -> " --fault hsit")
-            f.Explore.violation)
+            (fault_suffix cfg) f.Explore.violation)
         failures);
   report.Explore.dpor_failures = []
 
@@ -162,11 +168,7 @@ let run_shrink ~cfg ~tie_seed =
             s.Explore.replays
             (if Array.length s.Explore.minimal = 0 then "0"
              else choices_to_string s.Explore.minimal)
-            (match cfg.Explore.fault with
-            | Explore.No_fault -> ""
-            | Explore.Skip_svc_invalidate -> " --fault svc"
-            | Explore.Skip_hsit_flush -> " --fault hsit")
-            s.Explore.shrunk_violation;
+            (fault_suffix cfg) s.Explore.shrunk_violation;
           false)
 
 let run_sweep ~cfg ~verbose =
@@ -223,14 +225,21 @@ let parse_choices s =
     exit 2
 
 let main store seed schedules dpor crash_every replay replay_choices shrink
-    no_lsm_wal fault threads ops records keys_per_thread verbose =
+    no_lsm_wal fault scan_weak scan_every delete_every threads ops records
+    keys_per_thread verbose =
   let fault =
     match fault with
     | "none" -> Explore.No_fault
     | "svc" -> Explore.Skip_svc_invalidate
     | "hsit" -> Explore.Skip_hsit_flush
+    | "scan-stale" -> Explore.Scan_stale_snapshot
+    | "scan-skip-pwb" -> Explore.Scan_skip_pwb
+    | "scan-drop" -> Explore.Scan_drop_key
     | other ->
-        Printf.eprintf "unknown --fault %S (use none|svc|hsit)\n" other;
+        Printf.eprintf
+          "unknown --fault %S (use \
+           none|svc|hsit|scan-stale|scan-skip-pwb|scan-drop)\n"
+          other;
         exit 2
   in
   let store =
@@ -267,6 +276,9 @@ let main store seed schedules dpor crash_every replay replay_choices shrink
       threads;
       ops_per_thread = ops;
       records;
+      scan_every = max 1 scan_every;
+      delete_every = max 1 delete_every;
+      scan_check = (if scan_weak then `Weak else `Strict);
       fault;
       seed;
     }
@@ -381,8 +393,31 @@ let no_lsm_wal =
 let fault =
   Arg.(value & opt string "none" & info [ "fault" ] ~docv:"FAULT"
          ~doc:"Deliberate bug to inject: $(b,none), $(b,svc) (skip cache \
-               invalidation; breaks linearizability), or $(b,hsit) (skip \
-               pointer persists; loses acknowledged writes across crashes).")
+               invalidation; breaks linearizability), $(b,hsit) (skip \
+               pointer persists; loses acknowledged writes across crashes), \
+               $(b,scan-stale) (serve repeat scans from a stale snapshot), \
+               $(b,scan-skip-pwb) (scans miss write-buffered values), or \
+               $(b,scan-drop) (scans drop an in-range key). The three scan \
+               faults are invisible to $(b,--scan-weak) checking.")
+
+let scan_weak =
+  Arg.(value & flag
+       & info [ "scan-weak" ]
+           ~doc:"Check scans with the legacy per-item prefix conditions \
+                 only, instead of requiring each scan to be an atomic \
+                 snapshot at one point of a linearization. Escape hatch for \
+                 workloads where the strict search is too expensive — it \
+                 cannot see cross-key scan anomalies.")
+
+let scan_every =
+  Arg.(value & opt int 16 & info [ "scan-every" ] ~docv:"N"
+         ~doc:"One in $(docv) reads of the explored workload becomes a \
+               short scan (lower = more scan/write races).")
+
+let delete_every =
+  Arg.(value & opt int 8 & info [ "delete-every" ] ~docv:"N"
+         ~doc:"One in $(docv) updates of the explored workload becomes a \
+               delete.")
 
 let threads =
   Arg.(value & opt int 4 & info [ "threads" ] ~docv:"T"
@@ -414,7 +449,7 @@ let cmd =
     (Cmd.info "prism-check" ~doc)
     Term.(
       const main $ store $ seed $ schedules $ dpor $ crash_every $ replay
-      $ replay_choices $ shrink $ no_lsm_wal $ fault $ threads $ ops
-      $ records $ keys_per_thread $ verbose)
+      $ replay_choices $ shrink $ no_lsm_wal $ fault $ scan_weak $ scan_every
+      $ delete_every $ threads $ ops $ records $ keys_per_thread $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -6,13 +6,23 @@ module Iset = Set.Make (Int)
    engine presented (scheduling order, so index 0 is the FIFO pick);
    event seq numbers are the stable identity of an alternative — the
    simulation is deterministic, so re-running the same choice prefix
-   reproduces the same tie set with the same seqs. *)
+   reproduces the same tie set with the same seqs.
+
+   Exploration is tree-shaped rather than a DFS stack: every node ever
+   reached stays live until all its branch candidates have started, and
+   each run targets one (node, alternative) pair, replaying the node's
+   recorded path to get there. This lets the scheduler pick *which*
+   frontier to extend next (see [order] in {!explore}) instead of being
+   forced into deepest-first backtracking. *)
 type node = {
+  id : int;  (* creation order — ties into the exploration order *)
+  depth : int;  (* decision index of this node within its runs *)
+  path_nodes : node array;  (* ancestor decisions, root first *)
+  path_picks : int array;  (* pick taken at each ancestor *)
   alts : Engine.alt array;
   sleep : Iset.t;  (* seqs asleep on entry to this node *)
   branch : Iset.t;  (* persistent set: seqs eligible for branching here *)
-  mutable taken : int;  (* index into [alts] currently being explored *)
-  mutable explored : Iset.t;  (* seqs whose subtrees are fully explored *)
+  mutable started : Iset.t;  (* seqs whose subtrees have begun exploring *)
 }
 
 type 'a class_result = {
@@ -75,25 +85,42 @@ let closure ~full ~dependent (alts : Engine.alt array) taken_seq =
     !members
   end
 
-let explore ?(full = false) ?(stop_on = fun _ -> false) ~max_classes ~dependent
-    run_fn =
+(* First alternative at [n] eligible to start a new subtree: in the
+   persistent set, not already started, not asleep. -1 when exhausted. *)
+let candidate n =
+  let c = ref (-1) in
+  Array.iteri
+    (fun i (a : Engine.alt) ->
+      if
+        !c < 0
+        && Iset.mem a.seq n.branch
+        && (not (Iset.mem a.seq n.started))
+        && not (Iset.mem a.seq n.sleep)
+      then c := i)
+    n.alts;
+  !c
+
+let explore ?(order = `Frontier) ?(full = false) ?(stop_on = fun _ -> false)
+    ~max_classes ~dependent run_fn =
   (* Labels of every seq ever seen in a tie set. Seqs are deterministic
      per prefix, so entries stay valid across runs; sleep-set filtering
      needs a label even for seqs absent from the current tie set. *)
   let label_of : (int, int) Hashtbl.t = Hashtbl.create 1024 in
-  let stack : node list ref = ref [] in
-  (* deepest decision first *)
+  let nodes : node list ref = ref [] in
+  let node_count = ref 0 in
   let classes = ref [] in
   let n_classes = ref 0 in
   let runs = ref 0 in
   let pruned = ref 0 in
   let complete = ref false in
-  let run_once () =
-    let prefix = Array.of_list (List.rev !stack) in
+  let run_once (target : (node * int) option) =
     let fresh : node list ref = ref [] in
-    let last : node option ref = ref None in
+    (* Parent of the next fresh decision point, with the index taken
+       there — seeds the child's sleep set. *)
+    let last : (node * int) option ref = ref None in
     let depth = ref 0 in
     let redundant = ref false in
+    let target_forced = ref false in
     let choices_rev = ref [] in
     let choose (alts : Engine.alt array) =
       Array.iter
@@ -102,97 +129,121 @@ let explore ?(full = false) ?(stop_on = fun _ -> false) ~max_classes ~dependent
       let d = !depth in
       incr depth;
       let pick =
-        if d < Array.length prefix then begin
-          let n = prefix.(d) in
-          if
-            Array.length n.alts <> Array.length alts
-            || n.alts.(n.taken).seq <> alts.(n.taken).seq
-          then raise Diverged;
-          last := Some n;
-          n.taken
-        end
-        else if !redundant then 0
-        else begin
-          (* Sleep set: alternatives already covered by an earlier sibling
-             subtree stay asleep until something dependent executes
-             (Godefroid). Waking is the filter below; falling asleep is
-             the [explored] union. *)
-          let sleep =
-            match !last with
-            | _ when full -> Iset.empty
-            | None -> Iset.empty
-            | Some p ->
-                let tl = p.alts.(p.taken).label in
-                Iset.union p.sleep p.explored
-                |> Iset.filter (fun s ->
-                       match Hashtbl.find_opt label_of s with
-                       | Some l -> not (dependent l tl)
-                       | None -> false)
-          in
-          let taken = ref (-1) in
-          Array.iteri
-            (fun i (a : Engine.alt) ->
-              if !taken < 0 && not (Iset.mem a.seq sleep) then taken := i)
-            alts;
-          if !taken < 0 then begin
-            (* Every enabled alternative is asleep: any completion of this
-               prefix is Mazurkiewicz-equivalent to an already-explored
-               schedule. Finish the run FIFO but report it pruned. *)
-            redundant := true;
-            0
-          end
-          else begin
-            let node =
-              {
+        match target with
+        | Some (n, _) when d < n.depth ->
+            let anc = n.path_nodes.(d) and p = n.path_picks.(d) in
+            if
+              Array.length anc.alts <> Array.length alts
+              || anc.alts.(p).seq <> alts.(p).seq
+            then raise Diverged;
+            p
+        | Some (n, i) when d = n.depth ->
+            if
+              Array.length n.alts <> Array.length alts
+              || n.alts.(i).seq <> alts.(i).seq
+            then raise Diverged;
+            n.started <- Iset.add n.alts.(i).seq n.started;
+            target_forced := true;
+            last := Some (n, i);
+            i
+        | _ ->
+            if !redundant then 0
+            else begin
+              (* Sleep set: alternatives whose subtrees an earlier
+                 sibling has already begun covering stay asleep until
+                 something dependent executes (Godefroid). The invariant
+                 is order-independent — a sibling falls asleep as soon as
+                 its exploration {e starts}, whatever order subtrees are
+                 scheduled in — so at exhaustion every completed run is
+                 still a distinct class, and within a budget no class is
+                 ever counted twice. *)
+              let sleep =
+                if full then Iset.empty
+                else
+                  match !last with
+                  | None -> Iset.empty
+                  | Some (p, ti) ->
+                      let tl = p.alts.(ti).label in
+                      let tseq = p.alts.(ti).seq in
+                      Iset.union p.sleep (Iset.remove tseq p.started)
+                      |> Iset.filter (fun s ->
+                             match Hashtbl.find_opt label_of s with
+                             | Some l -> not (dependent l tl)
+                             | None -> false)
+              in
+              let taken = ref (-1) in
+              Array.iteri
+                (fun i (a : Engine.alt) ->
+                  if !taken < 0 && not (Iset.mem a.seq sleep) then taken := i)
                 alts;
-                sleep;
-                branch = closure ~full ~dependent alts alts.(!taken).seq;
-                taken = !taken;
-                explored = Iset.empty;
-              }
-            in
-            fresh := node :: !fresh;
-            last := Some node;
-            !taken
-          end
-        end
+              if !taken < 0 then begin
+                (* Every enabled alternative is asleep: any completion of
+                   this prefix is Mazurkiewicz-equivalent to an
+                   already-covered schedule. Finish the run FIFO but
+                   report it pruned. *)
+                redundant := true;
+                0
+              end
+              else begin
+                let path_nodes, path_picks =
+                  match !last with
+                  | None -> ([||], [||])
+                  | Some (p, ti) ->
+                      ( Array.append p.path_nodes [| p |],
+                        Array.append p.path_picks [| ti |] )
+                in
+                let node =
+                  {
+                    id = !node_count;
+                    depth = d;
+                    path_nodes;
+                    path_picks;
+                    alts;
+                    sleep;
+                    branch = closure ~full ~dependent alts alts.(!taken).seq;
+                    started = Iset.singleton alts.(!taken).seq;
+                  }
+                in
+                incr node_count;
+                fresh := node :: !fresh;
+                last := Some (node, !taken);
+                !taken
+              end
+            end
       in
       choices_rev := pick :: !choices_rev;
       pick
     in
     let result = run_fn ~choose in
-    stack := !fresh @ !stack;
+    (match target with
+    | Some _ when not !target_forced ->
+        (* The run ended before reaching the targeted decision point —
+           the simulation is not reproducing its prefix. *)
+        raise Diverged
+    | _ -> ());
+    nodes := !fresh @ !nodes;
     (result, !redundant, !depth, Array.of_list (List.rev !choices_rev))
   in
-  (* Deepest node with an unexplored, awake branch candidate; pop the
-     exhausted tail. *)
-  let rec backtrack () =
-    match !stack with
-    | [] -> false
-    | n :: rest ->
-        n.explored <- Iset.add n.alts.(n.taken).seq n.explored;
-        let cand = ref (-1) in
-        Array.iteri
-          (fun i (a : Engine.alt) ->
-            if
-              !cand < 0
-              && Iset.mem a.seq n.branch
-              && (not (Iset.mem a.seq n.explored))
-              && not (Iset.mem a.seq n.sleep)
-            then cand := i)
-          n.alts;
-        if !cand >= 0 then begin
-          n.taken <- !cand;
-          true
-        end
-        else begin
-          stack := rest;
-          backtrack ()
-        end
+  (* Next frontier to extend. [`Frontier] branches at the shallowest
+     pending node (earliest decision with an uncovered dependent
+     ordering), creation order breaking ties — small budgets spread
+     across the whole schedule instead of permuting its tail.
+     [`Deepest] takes the most recently created node, which reproduces
+     the old DFS backtracking order. *)
+  let select l =
+    let better (a : node) (b : node) =
+      match order with
+      | `Frontier ->
+          if a.depth <> b.depth then a.depth < b.depth else a.id < b.id
+      | `Deepest -> a.id > b.id
+    in
+    List.fold_left (fun acc n -> if better n acc then n else acc)
+      (List.hd l) (List.tl l)
   in
   let continue_ = ref true in
+  let target = ref None in
   while !continue_ do
-    let result, redundant, depth, choices = run_once () in
+    let result, redundant, depth, choices = run_once !target in
     incr runs;
     let stop = ref false in
     if redundant then incr pruned
@@ -203,9 +254,15 @@ let explore ?(full = false) ?(stop_on = fun _ -> false) ~max_classes ~dependent
       if stop_on result then stop := true
     end;
     if !stop || !n_classes >= max_classes then continue_ := false
-    else if not (backtrack ()) then begin
-      complete := true;
-      continue_ := false
+    else begin
+      nodes := List.filter (fun n -> candidate n >= 0) !nodes;
+      match !nodes with
+      | [] ->
+          complete := true;
+          continue_ := false
+      | l ->
+          let n = select l in
+          target := Some (n, candidate n)
     end
   done;
   {

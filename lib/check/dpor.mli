@@ -33,7 +33,22 @@
     micro-programs the tests enumerate); for the full store it is the
     usual local-independence approximation. [full = true] disables both
     prunings and branches on the entire tie set — the exhaustive
-    brute-force reference. *)
+    brute-force reference.
+
+    {b Exploration order.} The walk is tree-shaped: every decision point
+    ever reached stays live until all its eligible alternatives have
+    started a subtree, and each run targets one (node, alternative)
+    pair by replaying the node's recorded path. [`Frontier] (the
+    default) always branches at the {e shallowest} node that still has
+    an uncovered dependent ordering, so a small [max_classes] budget
+    spreads coverage across the whole schedule — each early class
+    reorders a different region instead of permuting the tail of the
+    first schedule. [`Deepest] branches at the most recently created
+    node, reproducing classic DFS backtracking. Both orders visit the
+    same class set at exhaustion (sleep sets are order-independent:
+    an alternative falls asleep in its siblings as soon as its own
+    subtree starts), so the heuristic only changes {e which} classes a
+    truncated budget sees. *)
 
 type 'a class_result = {
   index : int;  (** 0-based equivalence-class index, exploration order *)
@@ -60,13 +75,16 @@ exception Diverged
 
 (** [explore ~max_classes ~dependent run] drives [run] repeatedly, each
     time passing a [choose] callback the engine's [Guided] policy calls
-    at every tie decision; [choose] replays the current prefix and
+    at every tie decision; [choose] replays the targeted node's path and
     extends it by first-awake choices. Exploration stops when the tree is
     exhausted, [max_classes] classes completed, or [stop_on result] is
     true for a completed class. [dependent] is the conflict relation over
-    event labels; [full = true] disables persistent-set pruning {e and}
-    sleep sets — the exhaustive walk used as a brute-force reference. *)
+    event labels; [order] picks the frontier heuristic described above
+    (default [`Frontier]); [full = true] disables persistent-set pruning
+    {e and} sleep sets — the exhaustive walk used as a brute-force
+    reference. *)
 val explore :
+  ?order:[ `Frontier | `Deepest ] ->
   ?full:bool ->
   ?stop_on:('a -> bool) ->
   max_classes:int ->

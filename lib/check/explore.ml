@@ -1,7 +1,13 @@
 open Prism_sim
 open Prism_harness
 
-type fault = No_fault | Skip_svc_invalidate | Skip_hsit_flush
+type fault =
+  | No_fault
+  | Skip_svc_invalidate
+  | Skip_hsit_flush
+  | Scan_stale_snapshot
+  | Scan_skip_pwb
+  | Scan_drop_key
 
 type config = {
   store : [ `Prism | `Kvell ];
@@ -10,6 +16,9 @@ type config = {
   value_size : int;
   ops_per_thread : int;
   theta : float;
+  delete_every : int;
+  scan_every : int;
+  scan_check : [ `Strict | `Weak ];
   fault : fault;
   seed : int64;
 }
@@ -22,6 +31,9 @@ let default =
     value_size = 64;
     ops_per_thread = 48;
     theta = 0.6;
+    delete_every = 8;
+    scan_every = 16;
+    scan_check = `Strict;
     fault = No_fault;
     seed = 1L;
   }
@@ -73,9 +85,11 @@ let gen_ops cfg =
       Array.init cfg.ops_per_thread (fun _ ->
           match Prism_workload.Ycsb.next gen with
           | Prism_workload.Ycsb.Update (key, value) ->
-              if Rng.int spice 8 = 0 then O_delete key else O_put (key, value)
+              if Rng.int spice cfg.delete_every = 0 then O_delete key
+              else O_put (key, value)
           | Prism_workload.Ycsb.Read key ->
-              if Rng.int spice 16 = 0 then O_scan (key, 8) else O_get key
+              if Rng.int spice cfg.scan_every = 0 then O_scan (key, 8)
+              else O_get key
           | Prism_workload.Ycsb.Insert (key, value) -> O_put (key, value)
           | Prism_workload.Ycsb.Scan (key, n) -> O_scan (key, n)))
 
@@ -101,6 +115,10 @@ let tweak cfg c =
   | Skip_svc_invalidate ->
       { c with Prism_core.Config.fault_skip_svc_invalidate = true }
   | Skip_hsit_flush -> { c with Prism_core.Config.fault_skip_hsit_flush = true }
+  | Scan_stale_snapshot ->
+      { c with Prism_core.Config.fault_scan_stale_snapshot = true }
+  | Scan_skip_pwb -> { c with Prism_core.Config.fault_scan_skip_pwb = true }
+  | Scan_drop_key -> { c with Prism_core.Config.fault_scan_drop_key = true }
 
 (* KVell through a synchronous adapter: [Kv.of_kvell] pipelines puts like
    KVell's injector threads, which acknowledges before durability — fine
@@ -174,17 +192,16 @@ let run_one cfg ~index ~tie_seed ~tie =
           (Array.to_list choices, Engine.events_executed engine, clock);
     }
   in
+  let init_keys = List.init cfg.records Prism_workload.Ycsb.key_of in
   let preloaded = Hashtbl.create cfg.records in
-  for i = 0 to cfg.records - 1 do
-    Hashtbl.replace preloaded (Prism_workload.Ycsb.key_of i) ()
-  done;
+  List.iter (fun k -> Hashtbl.replace preloaded k ()) init_keys;
   (* Preloaded keys start at version 0 of their deterministic payload;
      everything else starts absent. *)
   let init key =
     if Hashtbl.mem preloaded key then Some (preload_value cfg key) else None
   in
   let violation =
-    match Linearize.check ~init events with
+    match Linearize.check ~init ~init_keys ~scans:cfg.scan_check events with
     | Ok () -> None
     | Error v -> Some (Format.asprintf "%a" Linearize.pp_violation v)
   in

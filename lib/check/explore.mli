@@ -15,6 +15,15 @@ type fault =
   | Skip_hsit_flush
       (** HSIT skips pointer persists — harmless live, fatal across a
           crash; see {!Crash_sweep} *)
+  | Scan_stale_snapshot
+      (** repeat scans from one start key are served from the previous
+          result — stale snapshots the weak scan check cannot see *)
+  | Scan_skip_pwb
+      (** scans ignore values whose freshest version lives in a PWB —
+          recently-written in-range keys silently vanish from results *)
+  | Scan_drop_key
+      (** scans drop their second item when returning three or more — a
+          provably present in-range key goes missing *)
 
 type config = {
   store : [ `Prism | `Kvell ];
@@ -23,6 +32,13 @@ type config = {
   value_size : int;
   ops_per_thread : int;
   theta : float;  (** Zipfian skew of the YCSB-A slice *)
+  delete_every : int;
+      (** 1-in-N updates become deletes (default 8; lower = more) *)
+  scan_every : int;
+      (** 1-in-N reads become short scans (default 16; lower = more) *)
+  scan_check : [ `Strict | `Weak ];
+      (** scan obligation passed to {!Linearize.check}: atomic snapshots
+          (default) or the legacy prefix conditions *)
   fault : fault;
   seed : int64;  (** master seed: workload + all per-schedule tie seeds *)
 }

@@ -41,12 +41,15 @@ let tick t =
 
 (* ---- scheduling labels ----
 
-   A label packs (key hash, tid, kind) into one int so the engine can
-   carry it on every pending event of an operation. Key identity is the
-   hash of the key string — stable across runs (no interning), with hash
-   collisions only ever merging two keys into one conflict class, which
-   is conservative for dependency analysis. Kind 0 is reserved for
-   "unlabelled". *)
+   A label packs (key id, tid, kind) into one int so the engine can
+   carry it on every pending event of an operation. Key identity is an
+   interned index into a process-global table: an id is assigned the
+   first time a key is seen and never changes, so labels are stable
+   across the many runs of one exploration (DPOR caches labels per event
+   seq across runs) and the table can answer order queries — a scan's
+   label carries its start key, and [conflicting] compares actual key
+   strings to decide whether a write falls inside the scanned range.
+   Kind 0 is reserved for "unlabelled". *)
 
 let kind_read = 1
 
@@ -54,30 +57,76 @@ let kind_write = 2
 
 let kind_scan = 3
 
-let key_hash key = Hashtbl.hash key land 0x3FFFFF
+let max_keys = 1 lsl 22
+
+let key_ids : (string, int) Hashtbl.t = Hashtbl.create 1024
+
+let key_names = ref (Array.make 1024 "")
+
+let n_keys = ref 0
+
+let key_id key =
+  match Hashtbl.find_opt key_ids key with
+  | Some i -> i
+  | None ->
+      let i = !n_keys in
+      if i >= max_keys then
+        failwith "History: key-label space exhausted (2^22 distinct keys)";
+      if i >= Array.length !key_names then begin
+        let bigger = Array.make (2 * Array.length !key_names) "" in
+        Array.blit !key_names 0 bigger 0 i;
+        key_names := bigger
+      end;
+      !key_names.(i) <- key;
+      Hashtbl.add key_ids key i;
+      n_keys := i + 1;
+      i
+
+let key_of_id i = !key_names.(i)
+
+(* Layout: bits 0-1 kind, bits 2-12 tid+1 (11 bits), bits 13-34 key id.
+   The tid field holds tid+1 so an all-zero label never aliases a real
+   operation; tids beyond the field width fail loudly instead of
+   silently colliding into a shared conflict class. *)
+
+let max_tid = 0x7FF - 1 (* tid+1 must fit in 11 bits *)
 
 let op_label ~tid call =
+  if tid < 0 || tid > max_tid then
+    invalid_arg
+      (Printf.sprintf "History.op_label: tid %d outside label range [0, %d]"
+         tid max_tid);
   let kind, keyh =
     match call with
-    | Put (k, _) -> (kind_write, key_hash k)
-    | Delete k -> (kind_write, key_hash k)
-    | Get k -> (kind_read, key_hash k)
-    | Scan _ -> (kind_scan, 0)
+    | Put (k, _) -> (kind_write, key_id k)
+    | Delete k -> (kind_write, key_id k)
+    | Get k -> (kind_read, key_id k)
+    | Scan (from, _) -> (kind_scan, key_id from)
   in
-  (keyh lsl 10) lor (((tid land 0x7F) + 1) lsl 2) lor kind
+  (keyh lsl 13) lor ((tid + 1) lsl 2) lor kind
 
 let label_kind l = l land 3
 
-let label_key l = l lsr 10
+let label_key l = l lsr 13
 
 let conflicting a b =
   if a = 0 || b = 0 then true (* unlabelled: assume the worst *)
   else begin
     let ka = label_kind a and kb = label_kind b in
-    (* A scan ranges over keys, so it conflicts with any write; two scans
-       (or two reads of the same key) commute. *)
-    if ka = kind_scan then kb = kind_write
-    else if kb = kind_scan then ka = kind_write
+    (* A scan ranges over keys at or above its start key, so it conflicts
+       exactly with writes that could fall inside that range; writes
+       strictly below the start key, reads, and other scans commute. The
+       upper end of the range is only known once the scan returns, so
+       the lower bound is the sound refinement available at labeling
+       time. *)
+    if ka = kind_scan then
+      kb = kind_write
+      && String.compare (key_of_id (label_key b)) (key_of_id (label_key a))
+         >= 0
+    else if kb = kind_scan then
+      ka = kind_write
+      && String.compare (key_of_id (label_key a)) (key_of_id (label_key b))
+         >= 0
     else (ka = kind_write || kb = kind_write) && label_key a = label_key b
   end
 
@@ -91,7 +140,17 @@ let record t ~tid call run =
     Engine.annotate engine (op_label ~tid call);
     let inv = tick t in
     let inv_time = Engine.now engine in
-    let outcome = run () in
+    let outcome =
+      try run ()
+      with e ->
+        (* A crash injection unwinding through the operation must not
+           leak the op's label onto whatever the interrupted context runs
+           next. The op itself never completed, so it carries no
+           obligation and is deliberately not recorded. *)
+        let bt = Printexc.get_raw_backtrace () in
+        Engine.annotate engine saved;
+        Printexc.raise_with_backtrace e bt
+    in
     let resp = tick t in
     let resp_time = Engine.now engine in
     Engine.annotate engine saved;

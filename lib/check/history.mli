@@ -61,17 +61,25 @@ val events : t -> event array
 (** Number of recorded invocations (including any still in flight). *)
 val length : t -> int
 
-(** [op_label ~tid call] packs (key hash, tid, kind) into a nonzero
-    scheduling label for {!Prism_sim.Engine.annotate}. Key identity is a
-    hash, so distinct keys may (rarely) share a conflict class — always
-    conservative for dependency analysis. *)
+(** [op_label ~tid call] packs (key id, tid, kind) into a nonzero
+    scheduling label for {!Prism_sim.Engine.annotate}. Key identity is an
+    interned index assigned on first sight and stable for the rest of the
+    process, so labels are exact (no hash collisions) and consistent
+    across the many runs of one exploration; scan labels carry the
+    interned start key so {!conflicting} can compare it against write
+    keys. Raises [Invalid_argument] when [tid] exceeds {!max_tid} — tids
+    must never alias silently into a shared conflict class. *)
 val op_label : tid:int -> call -> int
+
+(** Largest thread id representable in a scheduling label. *)
+val max_tid : int
 
 (** [conflicting a b] is the dependency relation over scheduling labels:
     true when reordering two events with these labels could change the
-    outcome — same-key with at least one writer, any write against a
-    scan, or either label unlabelled ([0], assumed to touch anything).
-    Two reads, two scans, or operations on different keys commute. *)
+    outcome — same-key with at least one writer, a write at or above a
+    scan's start key, or either label unlabelled ([0], assumed to touch
+    anything). Two reads, two scans, writes strictly below a scan's
+    start key, or operations on different keys commute. *)
 val conflicting : int -> int -> bool
 
 val pp_call : Format.formatter -> call -> unit

@@ -141,11 +141,27 @@ let check_key ~init key ops =
       }
 
 let check_scans ~init events =
-  (* Weaker, compositional obligation for scans (a full linearizability
-     check would couple every key): the returned keys must be sorted
-     strictly ascending from the start key, at most [count] long, and
-     every returned value must have actually been written — by a put that
-     was invoked before the scan responded, or by the preload. *)
+  (* Weak, compositional obligations for scans — kept as a cheap
+     pre-filter in front of the strict snapshot check (and as the
+     [`Weak] escape hatch): the returned keys must be sorted strictly
+     ascending from the start key, at most [count] long, and every
+     returned value must have actually been written — by a put that was
+     invoked before the scan responded, or by the preload. Membership is
+     answered from a per-key put index, so the pass costs
+     O(history + Σ items · puts-on-that-key) instead of the old
+     O(items × history). *)
+  let puts_by_key : (string, (bytes * int) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  Array.iter
+    (fun e ->
+      match (e.History.call, e.History.outcome) with
+      | History.Put (k, v), History.Ok_unit ->
+          Hashtbl.replace puts_by_key k
+            ((v, e.History.inv)
+            :: Option.value ~default:[] (Hashtbl.find_opt puts_by_key k))
+      | _ -> ())
+    events;
   let err ev reason = Error { key = ""; reason; ops = [ ev ] } in
   let check_one ev from count items =
     let rec go prev = function
@@ -156,15 +172,10 @@ let check_scans ~init events =
             err ev (Printf.sprintf "scan keys not strictly ascending at %S" k)
           else begin
             let written =
-              Array.exists
-                (fun e ->
-                  match e.History.call with
-                  | History.Put (k', v') ->
-                      String.equal k' k
-                      && Bytes.equal v' v
-                      && e.History.inv < ev.History.resp
-                  | _ -> false)
-                events
+              List.exists
+                (fun (v', inv) ->
+                  Bytes.equal v' v && inv < ev.History.resp)
+                (Option.value ~default:[] (Hashtbl.find_opt puts_by_key k))
               ||
               match init k with
               | Some v0 -> Bytes.equal v0 v
@@ -193,9 +204,430 @@ let check_scans ~init events =
           | _ -> Ok ()))
     (Ok ()) events
 
-let check ?(init = fun _ -> None) events =
+(* ---- strict scans: atomic multi-key snapshot reads (§ Wing–Gong
+   folding) ----
+
+   The weak conditions above cannot see cross-key anomalies: a scan that
+   returns a deleted key's old value, mixes values from incompatible
+   points in time, or omits a key that was provably present passes every
+   per-item test. The strict check folds each scan into the Wing–Gong
+   search as one atomic multi-key read: some single linearization point
+   must exist at which the scan's result is exactly the live contents of
+   its key range.
+
+   Running the search over the whole history would couple every key and
+   destroy the per-key locality that keeps the checker polynomial, so
+   the search is restricted to each scan's {e footprint}: the scan
+   itself plus the puts/deletes on its returned-or-in-range keys. Keys
+   outside every scan's range keep the pure per-key decomposition, and
+   gets stay in the per-key search (their constraints do not propagate
+   into scan points — a deliberate, documented approximation that keeps
+   the state space tractable). Scans whose footprints share a key are
+   solved together as one connected component, since they constrain each
+   other through that key. *)
+
+type scan_rec = {
+  s_ev : History.event;
+  s_from : string;
+  s_count : int;
+  s_returned : (string, bytes) Hashtbl.t;
+  s_upper : string option;
+      (* inclusive upper end of the covered range: the last returned key
+         when the scan filled its count (later keys were legitimately cut
+         off), unbounded when it returned fewer than asked *)
+  s_covered : bool; (* a count-0 scan covers nothing *)
+}
+
+let scan_recs events =
+  Array.fold_left
+    (fun acc ev ->
+      match (ev.History.call, ev.History.outcome) with
+      | History.Scan (from, count), History.Items items ->
+          let returned = Hashtbl.create (List.length items + 1) in
+          List.iter (fun (k, v) -> Hashtbl.replace returned k v) items;
+          let n = List.length items in
+          let upper =
+            if n = count && n > 0 then Some (fst (List.nth items (n - 1)))
+            else None
+          in
+          {
+            s_ev = ev;
+            s_from = from;
+            s_count = count;
+            s_returned = returned;
+            s_upper = upper;
+            s_covered = count > 0;
+          }
+          :: acc
+      | _ -> acc)
+    [] events
+  |> List.rev
+
+let in_range s k =
+  s.s_covered
+  && String.compare k s.s_from >= 0
+  && (match s.s_upper with
+     | None -> true
+     | Some u -> String.compare k u <= 0)
+
+(* Puts and deletes only: gets stay in the per-key search. *)
+let writes_by_key events =
+  let tbl : (string, op list) Hashtbl.t = Hashtbl.create 64 in
+  let add k o =
+    Hashtbl.replace tbl k
+      (o :: Option.value ~default:[] (Hashtbl.find_opt tbl k))
+  in
+  Array.iter
+    (fun ev ->
+      match (ev.History.call, ev.History.outcome) with
+      | History.Put (k, v), History.Ok_unit -> add k { ev; sem = W v }
+      | History.Delete k, History.Existed e -> add k { ev; sem = D e }
+      | _ -> ())
+    events;
+  tbl
+
+(* A preloaded key no operation ever wrote has constant presence, so it
+   must appear in every scan that covers it — checked statically, which
+   keeps the preload set (arbitrarily large) out of the search. Needs the
+   preload domain to be enumerable, hence [init_keys]. *)
+let check_preload_static ~init ~init_keys ~writes scans =
+  let rec go = function
+    | [] -> Ok ()
+    | k :: rest ->
+        if init k <> None && not (Hashtbl.mem writes k) then begin
+          match
+            List.find_opt
+              (fun s -> in_range s k && not (Hashtbl.mem s.s_returned k))
+              scans
+          with
+          | Some s ->
+              Error
+                {
+                  key = k;
+                  reason =
+                    Printf.sprintf
+                      "scan missed in-range key %S — preloaded, never \
+                       written, so present at every candidate snapshot \
+                       point"
+                      k;
+                  ops = [ s.s_ev ];
+                }
+          | None -> go rest
+        end
+        else go rest
+  in
+  go init_keys
+
+(* Group scans into connected components of overlapping footprints, each
+   with the union of its footprint keys. *)
+let scan_components scans writes =
+  let scans = Array.of_list scans in
+  let n = Array.length scans in
+  let parent = Array.init n Fun.id in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then parent.(max ra rb) <- min ra rb
+  in
+  let footprints =
+    Array.map
+      (fun s ->
+        let keys = Hashtbl.create 16 in
+        Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) s.s_returned;
+        Hashtbl.iter
+          (fun k _ -> if in_range s k then Hashtbl.replace keys k ())
+          writes;
+        keys)
+      scans
+  in
+  let owner : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun i keys ->
+      Hashtbl.iter
+        (fun k () ->
+          match Hashtbl.find_opt owner k with
+          | Some j -> union i j
+          | None -> Hashtbl.replace owner k i)
+        keys)
+    footprints;
+  let comps : (int, scan_rec list ref * (string, unit) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  Array.iteri
+    (fun i s ->
+      let root = find i in
+      let members, keys =
+        match Hashtbl.find_opt comps root with
+        | Some c -> c
+        | None ->
+            let c = (ref [], Hashtbl.create 16) in
+            Hashtbl.replace comps root c;
+            c
+      in
+      members := s :: !members;
+      Hashtbl.iter (fun k () -> Hashtbl.replace keys k ()) footprints.(i))
+    scans;
+  Hashtbl.fold
+    (fun _root (members, keys) acc ->
+      let keys =
+        Hashtbl.fold (fun k () l -> k :: l) keys [] |> List.sort compare
+      in
+      (List.rev !members, Array.of_list keys) :: acc)
+    comps []
+
+type comp_op = C_write of op * int (* slot of the written key *) | C_scan of scan_rec
+
+let comp_ev = function
+  | C_write (o, _) -> o.ev
+  | C_scan s -> s.s_ev
+
+(* One Wing–Gong search over a component: state is the whole footprint's
+   key -> register map, writes/deletes step their key's slot, and a scan
+   linearizes only at a point where its result is exactly the live
+   in-range contents. Memoized on (linearized set, state vector) like the
+   per-key search. *)
+let check_component ~init scans keys writes =
+  let nkeys = Array.length keys in
+  let slot_of : (string, int) Hashtbl.t = Hashtbl.create (2 * nkeys) in
+  Array.iteri (fun i k -> Hashtbl.replace slot_of k i) keys;
+  let ops =
+    let writes_ops =
+      Array.to_list keys
+      |> List.concat_map (fun k ->
+             Option.value ~default:[] (Hashtbl.find_opt writes k)
+             |> List.map (fun o -> C_write (o, Hashtbl.find slot_of k)))
+    in
+    let a =
+      Array.of_list (writes_ops @ List.map (fun s -> C_scan s) scans)
+    in
+    Array.sort
+      (fun a b ->
+        compare (comp_ev a).History.inv (comp_ev b).History.inv)
+      a;
+    a
+  in
+  let n = Array.length ops in
+  let value_of : (int, bytes) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (fun op ->
+      match op with
+      | C_write ({ ev; sem = W v }, _) -> Hashtbl.replace value_of ev.History.op v
+      | C_write _ | C_scan _ -> ())
+    ops;
+  let states = Array.make nkeys V_init in
+  let present slot =
+    match states.(slot) with
+    | V_put _ -> true
+    | V_absent -> false
+    | V_init -> init keys.(slot) <> None
+  in
+  (* Diagnosis for the report: remember the scan rejection seen at the
+     deepest point of the search — the most-linearized candidate tells
+     the most plausible story about which anomaly broke the snapshot. *)
+  let best : (int * string * string * History.event) option ref = ref None in
+  let note remaining reason key ev =
+    match !best with
+    | Some (r, _, _, _) when r <= remaining -> ()
+    | _ -> best := Some (remaining, reason, key, ev)
+  in
+  let scan_at_point remaining s =
+    let failure = ref None in
+    Hashtbl.iter
+      (fun k v ->
+        if !failure = None then
+          let slot = Hashtbl.find slot_of k in
+          match states.(slot) with
+          | V_absent ->
+              failure :=
+                Some
+                  ( k,
+                    Printf.sprintf
+                      "deleted-key ghost: scan returned %S, which is \
+                       deleted at the candidate snapshot point"
+                      k )
+          | V_put i ->
+              if not (Bytes.equal (Hashtbl.find value_of i) v) then
+                failure :=
+                  Some
+                    ( k,
+                      Printf.sprintf
+                        "torn/stale snapshot: the value scanned for %S \
+                         belongs to a different point in time than the \
+                         rest of the result"
+                        k )
+          | V_init -> (
+              match init k with
+              | Some v0 when Bytes.equal v0 v -> ()
+              | Some _ ->
+                  failure :=
+                    Some
+                      ( k,
+                        Printf.sprintf
+                          "torn/stale snapshot: the value scanned for %S \
+                           belongs to a different point in time than the \
+                           rest of the result"
+                          k )
+              | None ->
+                  failure :=
+                    Some
+                      ( k,
+                        Printf.sprintf
+                          "scan returned %S before any write of that \
+                           value could have taken effect"
+                          k )))
+      s.s_returned;
+    for slot = 0 to nkeys - 1 do
+      if !failure = None then
+        let k = keys.(slot) in
+        if
+          in_range s k
+          && (not (Hashtbl.mem s.s_returned k))
+          && present slot
+        then
+          failure :=
+            Some
+              ( k,
+                Printf.sprintf
+                  "missing in-range key: %S is live at the candidate \
+                   snapshot point and inside the scanned range, but the \
+                   scan omitted it"
+                  k )
+    done;
+    match !failure with
+    | None -> true
+    | Some (k, reason) ->
+        note remaining reason k s.s_ev;
+        false
+  in
+  let linearized = Array.make n false in
+  let memo = Hashtbl.create 1024 in
+  let encode () =
+    let b = Buffer.create (n + (2 * nkeys) + 8) in
+    Array.iter (fun l -> Buffer.add_char b (if l then '1' else '0')) linearized;
+    Array.iter
+      (fun st ->
+        match st with
+        | V_init -> Buffer.add_string b ";i"
+        | V_absent -> Buffer.add_string b ";a"
+        | V_put i ->
+            Buffer.add_char b ';';
+            Buffer.add_string b (string_of_int i))
+      states;
+    Buffer.contents b
+  in
+  let rec search remaining =
+    if remaining = 0 then true
+    else
+      let key = encode () in
+      if Hashtbl.mem memo key then false
+      else begin
+        let min_resp = ref max_int in
+        for i = 0 to n - 1 do
+          if not linearized.(i) then
+            min_resp := min !min_resp (comp_ev ops.(i)).History.resp
+        done;
+        let found = ref false in
+        let i = ref 0 in
+        while (not !found) && !i < n do
+          let j = !i in
+          incr i;
+          if
+            (not linearized.(j))
+            && (comp_ev ops.(j)).History.inv < !min_resp
+          then begin
+            match ops.(j) with
+            | C_write (op, slot) -> (
+                let saved = states.(slot) in
+                let legal =
+                  match op.sem with
+                  | W _ ->
+                      states.(slot) <- V_put op.ev.History.op;
+                      true
+                  | D e ->
+                      if e = present slot then begin
+                        states.(slot) <- V_absent;
+                        true
+                      end
+                      else false
+                  | R _ -> false (* gets never enter a component *)
+                in
+                if legal then begin
+                  linearized.(j) <- true;
+                  if search (remaining - 1) then found := true
+                  else begin
+                    linearized.(j) <- false;
+                    states.(slot) <- saved
+                  end
+                end
+                else states.(slot) <- saved)
+            | C_scan s ->
+                if scan_at_point remaining s then begin
+                  linearized.(j) <- true;
+                  if search (remaining - 1) then found := true
+                  else linearized.(j) <- false
+                end
+          end
+        done;
+        if not !found then Hashtbl.add memo key ();
+        !found
+      end
+  in
+  if search n then Ok ()
+  else
+    match !best with
+    | Some (_, reason, key, scan_ev) ->
+        let key_ops =
+          Option.value ~default:[] (Hashtbl.find_opt writes key)
+          |> List.map (fun o -> o.ev)
+          |> List.sort (fun a b -> compare a.History.inv b.History.inv)
+        in
+        Error
+          {
+            key;
+            reason =
+              Printf.sprintf "scan is not an atomic snapshot: %s" reason;
+            ops = scan_ev :: key_ops;
+          }
+    | None ->
+        Error
+          {
+            key = "";
+            reason =
+              Printf.sprintf
+                "no linearization of %d writes and %d scans over %d keys \
+                 admits an atomic snapshot point for every scan"
+                (n - List.length scans)
+                (List.length scans) nkeys;
+            ops = Array.to_list (Array.map comp_ev ops);
+          }
+
+let check_scans_strict ~init ~init_keys events =
+  match scan_recs events with
+  | [] -> Ok ()
+  | scans -> (
+      let writes = writes_by_key events in
+      match check_preload_static ~init ~init_keys ~writes scans with
+      | Error _ as e -> e
+      | Ok () ->
+          let rec comps = function
+            | [] -> Ok ()
+            | (members, keys) :: rest -> (
+                match check_component ~init members keys writes with
+                | Ok () -> comps rest
+                | Error _ as e -> e)
+          in
+          comps (scan_components scans writes))
+
+let check ?(init = fun _ -> None) ?(init_keys = []) ?(scans = `Strict)
+    events =
   let rec keys = function
-    | [] -> check_scans ~init events
+    | [] -> (
+        match check_scans ~init events with
+        | Error _ as e -> e
+        | Ok () -> (
+            match scans with
+            | `Weak -> Ok ()
+            | `Strict -> check_scans_strict ~init ~init_keys events))
     | (key, ops) :: rest -> (
         match check_key ~init key ops with
         | Ok () -> keys rest

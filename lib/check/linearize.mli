@@ -1,4 +1,4 @@
-(** Linearizability checking for put/get/delete histories against a
+(** Linearizability checking for put/get/delete/scan histories against a
     sequential map, in the style of Wing & Gong's algorithm.
 
     Linearizability is local, so the checker splits the history into
@@ -11,23 +11,49 @@
     is symbolic — a value is named by the put that wrote it — so memo
     keys stay tiny.
 
-    Scans span keys and get the weaker, compositional obligation of
-    {b monotonic prefixes}: results sorted strictly ascending from the
-    start key, bounded by the requested count, and containing only values
-    that some put (or the preload) actually wrote before the scan
-    responded. *)
+    {b Scans} span keys, so per-key locality does not apply to them. Two
+    checking modes exist:
+
+    - [`Weak] — the original compositional prefix conditions: results
+      sorted strictly ascending from the start key, bounded by the
+      requested count, and containing only values some put (or the
+      preload) actually wrote before the scan responded. Cheap, but blind
+      to cross-key anomalies (deleted-key ghosts, torn snapshots, omitted
+      keys).
+    - [`Strict] (default) — each scan must be an {e atomic snapshot
+      read}: some single point in a legal linearization at which the
+      scan's result is exactly the live contents of its key range. The
+      Wing–Gong search is restricted to the scan's {e footprint} — the
+      scan plus the puts/deletes on its returned-or-in-range keys — so
+      keys no scan covers keep the per-key decomposition and the state
+      space stays tractable. Scans with overlapping footprints are solved
+      together as one component. Gets are deliberately left in the
+      per-key search (a documented approximation: their constraints do
+      not propagate into scan points). The weak conditions still run
+      first as a fast pre-filter.
+
+    A scan's covered range is [[from, last-returned-key]] when it filled
+    its requested count (anything above the last key was legitimately cut
+    off) and [[from, ∞)] when it returned fewer items than asked; a
+    count-0 scan covers nothing. *)
 
 type violation = {
-  key : string;  (** offending key; [""] for scan violations *)
+  key : string;  (** offending key; [""] for multi-key scan violations *)
   reason : string;
   ops : History.event list;  (** the subhistory to include in a report *)
 }
 
-(** [check ?init events] verifies the history. [init] gives the value each
-    key held before recording started (preload); defaults to every key
-    absent. *)
+(** [check ?init ?init_keys ?scans events] verifies the history. [init]
+    gives the value each key held before recording started (preload);
+    defaults to every key absent. [init_keys] enumerates the preload
+    domain — needed by the strict scan check to flag preloaded,
+    never-written keys a covering scan omitted (a function's domain is
+    not enumerable); defaults to []. [scans] selects the scan mode
+    described above; defaults to [`Strict]. *)
 val check :
   ?init:(string -> bytes option) ->
+  ?init_keys:string list ->
+  ?scans:[ `Strict | `Weak ] ->
   History.event array ->
   (unit, violation) result
 

@@ -23,6 +23,9 @@ type t = {
   seed : int64;
   fault_skip_hsit_flush : bool;
   fault_skip_svc_invalidate : bool;
+  fault_scan_stale_snapshot : bool;
+  fault_scan_skip_pwb : bool;
+  fault_scan_drop_key : bool;
 }
 
 let kib = 1024
@@ -55,6 +58,9 @@ let default =
     seed = 0x5eedL;
     fault_skip_hsit_flush = false;
     fault_skip_svc_invalidate = false;
+    fault_scan_stale_snapshot = false;
+    fault_scan_skip_pwb = false;
+    fault_scan_drop_key = false;
   }
 
 let scaled ~threads ~keys ~value_size t =

@@ -40,6 +40,19 @@ type t = {
       (** true: [put]/[delete] skip the SVC invalidation, so later reads can
           return stale cached values — caught by the linearizability
           checker *)
+  fault_scan_stale_snapshot : bool;
+      (** true: the store caches each scan's result and serves a repeat
+          scan from the same start key out of that cache, so the repeat
+          observes a stale snapshot (ghost deleted keys, outdated values,
+          missing new keys) — caught only by the strict scan check *)
+  fault_scan_skip_pwb : bool;
+      (** true: scans skip values whose freshest version still lives in a
+          PWB, silently omitting recently-written in-range keys — caught
+          only by the strict scan check *)
+  fault_scan_drop_key : bool;
+      (** true: scans drop the second item of any result with at least
+          three, omitting a provably present in-range key — caught only
+          by the strict scan check *)
 }
 
 (** A small-footprint default suitable for tests: 4 threads, 1 MiB PWBs,

@@ -87,6 +87,9 @@ type t = {
   svc : Svc.t option;
   rng : Rng.t;
   ctr : op_counters;
+  (* Last scan result per start key — only written/read under the
+     [fault_scan_stale_snapshot] deliberate-bug switch. *)
+  mutable scan_stale_cache : (string * (string * bytes) list) option;
 }
 
 let stats t =
@@ -381,6 +384,7 @@ let create engine cfg =
           c_misses = Metric.Counter.create ();
           c_put_bytes = Metric.Counter.create ();
         };
+      scan_stale_cache = None;
     }
   in
   (match (svc, cfg.Config.scan_reorganize) with
@@ -607,6 +611,15 @@ type scan_pending = {
 
 let scan t ~tid key count =
   Metric.Counter.incr t.ctr.c_scans;
+  match t.scan_stale_cache with
+  | Some (from, items)
+    when t.cfg.Config.fault_scan_stale_snapshot && String.equal from key ->
+      (* Deliberate bug: a repeat scan from the same start key is served
+         from the previous result — a stale snapshot that can contain
+         deleted keys, outdated values, and miss later writes. *)
+      List.filteri (fun i _ -> i < count) items
+  | _ ->
+  let items =
   Epoch.with_pinned t.epoch ~tid (fun () ->
       let bindings = t.index.ki_scan ~from:key ~count in
       charge_index t;
@@ -625,7 +638,13 @@ let scan t ~tid key count =
               match loc with
               | Location.Nowhere -> ()
               | Location.In_pwb { thread; voff } ->
-                  if voff >= Pwb.head t.pwbs.(thread) then begin
+                  (* [fault_scan_skip_pwb]: deliberate bug — pretend the
+                     freshest version in the write buffer is invisible to
+                     range reads. *)
+                  if
+                    (not t.cfg.Config.fault_scan_skip_pwb)
+                    && voff >= Pwb.head t.pwbs.(thread)
+                  then begin
                     let bid, payload = Pwb.read t.pwbs.(thread) ~voff in
                     if bid = id then begin
                       Metric.Counter.incr t.ctr.c_pwb_hits;
@@ -701,13 +720,46 @@ let scan t ~tid key count =
         ->
           Svc.link_chain svc (List.rev !chain)
       | Some _ | None -> ());
+      (* Read-repair: a value can move while the fast paths above resolve
+         it — PWB reclamation advances [head] past the recorded offset, or
+         the VS chunk is recycled before the batched IO lands — and those
+         paths simply leave the binding unresolved. The point read retries
+         in exactly these cases (see [get_resolved]); without the same
+         care here a scan silently omits a live key. Re-resolve leftovers
+         through the retrying read; a key that is genuinely gone resolves
+         to [Nowhere] and stays out of the result. Skipped under the
+         [fault_scan_skip_pwb] injection, which exists to demonstrate the
+         omission. *)
+      if not t.cfg.Config.fault_scan_skip_pwb then
+        List.iteri
+          (fun i (k, id) ->
+            match results.(i) with
+            | Some _ -> ()
+            | None -> (
+                match get_resolved t ~tid ~id ~key:k with
+                | Some value -> results.(i) <- Some (k, value)
+                | None -> ()))
+          bindings;
       Array.to_list results |> List.filter_map Fun.id)
+  in
+  let items =
+    match items with
+    | a :: _ :: (_ :: _ as rest) when t.cfg.Config.fault_scan_drop_key ->
+        (* Deliberate bug: drop the second key of any result with at
+           least three — a provably present in-range key goes missing. *)
+        a :: rest
+    | _ -> items
+  in
+  if t.cfg.Config.fault_scan_stale_snapshot then
+    t.scan_stale_cache <- Some (key, items);
+  items
 
 (* ---- crash & recovery (§5.5) ---- *)
 
 let crash t =
   Nvm.crash t.nvm;
   (match t.svc with Some svc -> Svc.clear svc | None -> ());
+  t.scan_stale_cache <- None;
   Epoch.reset t.epoch
 
 let recover t =

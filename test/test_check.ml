@@ -217,6 +217,258 @@ let test_linearize_scan () =
       ev 2 1 (History.Scan ("a", 2)) (scan [ ("b", v2); ("a", v1) ]) 4 5;
     ]
 
+(* ---- scheduling labels & recording ---- *)
+
+let test_label_tid_widening () =
+  let call = History.Put ("k", v1) in
+  let l0 = History.op_label ~tid:0 call in
+  let l127 = History.op_label ~tid:127 call in
+  let l128 = History.op_label ~tid:128 call in
+  (* The old 7-bit layout aliased tid 128 onto tid 0. *)
+  Alcotest.(check bool) "tids 0/128 no longer alias" true (l0 <> l128);
+  Alcotest.(check bool) "tids 127/128 distinct" true (l127 <> l128);
+  Alcotest.(check bool) "max tid still labels" true
+    (History.op_label ~tid:History.max_tid call <> 0);
+  (match History.op_label ~tid:(History.max_tid + 1) call with
+  | _ -> Alcotest.fail "tid beyond max_tid must fail loudly"
+  | exception Invalid_argument _ -> ());
+  match History.op_label ~tid:(-1) call with
+  | _ -> Alcotest.fail "negative tid must fail loudly"
+  | exception Invalid_argument _ -> ()
+
+let test_label_scan_conflicts () =
+  let lbl tid c = History.op_label ~tid c in
+  let scan_b = lbl 0 (History.Scan ("kb", 8)) in
+  let put_a = lbl 1 (History.Put ("ka", v1)) in
+  let put_b = lbl 1 (History.Put ("kb", v1)) in
+  let put_c = lbl 1 (History.Put ("kc", v1)) in
+  let get_c = lbl 1 (History.Get "kc") in
+  let scan_a = lbl 1 (History.Scan ("ka", 8)) in
+  Alcotest.(check bool) "write below scan start commutes" false
+    (History.conflicting scan_b put_a);
+  Alcotest.(check bool) "write at scan start conflicts" true
+    (History.conflicting scan_b put_b);
+  Alcotest.(check bool) "conflict is symmetric" true
+    (History.conflicting put_b scan_b);
+  Alcotest.(check bool) "write above scan start conflicts" true
+    (History.conflicting scan_b put_c);
+  Alcotest.(check bool) "scan vs read commutes" false
+    (History.conflicting scan_b get_c);
+  Alcotest.(check bool) "scan vs scan commutes" false
+    (History.conflicting scan_b scan_a);
+  Alcotest.(check bool) "unlabelled conflicts with everything" true
+    (History.conflicting 0 put_a)
+
+exception Boom
+
+let test_record_exception_safe () =
+  ignore
+    (in_sim (fun engine ->
+         let hist = History.create () in
+         let kv =
+           {
+             Prism_harness.Kv.name = "raising";
+             stat_prefix = "raising";
+             put = (fun ~tid:_ _ _ -> raise Boom);
+             get = (fun ~tid:_ _ -> None);
+             delete = (fun ~tid:_ _ -> false);
+             scan = (fun ~tid:_ _ _ -> []);
+             quiesce = (fun () -> ());
+             recover = None;
+           }
+         in
+         let kv = History.wrap hist kv in
+         let sentinel = History.op_label ~tid:7 (History.Get "outer") in
+         Engine.annotate engine sentinel;
+         (match kv.Prism_harness.Kv.put ~tid:0 "k" v1 with
+         | () -> Alcotest.fail "wrapped op should have raised"
+         | exception Boom -> ());
+         Alcotest.(check int) "annotation restored across the raise" sentinel
+           (Engine.annotation engine);
+         Alcotest.(check int) "no phantom event recorded" 0
+           (Array.length (History.events hist));
+         Engine.annotate engine 0))
+
+(* ---- strict scan snapshots ---- *)
+
+(* Each anomaly here slips through the weak per-item conditions and must
+   be rejected by the strict atomic-snapshot search — the checker-teeth
+   regressions of the scan soundness fix. *)
+let check_strict_bad ?init ?init_keys name events =
+  let events = Array.of_list events in
+  (match Linearize.check ?init ?init_keys ~scans:`Weak events with
+  | Ok () -> ()
+  | Error e ->
+      Alcotest.failf "%s: weak checker should accept this history, got: %s"
+        name e.Linearize.reason);
+  match Linearize.check ?init ?init_keys events with
+  | Ok () -> Alcotest.failf "%s: strict checker missed the anomaly" name
+  | Error _ -> ()
+
+let scan_items items = History.Items items
+
+let test_scan_ghost () =
+  (* The scan starts after the delete responded, yet returns "b". *)
+  check_strict_bad "deleted-key ghost"
+    [
+      ev 0 0 (put "a" v1) History.Ok_unit 0 1;
+      ev 1 0 (put "b" v1) History.Ok_unit 2 3;
+      ev 2 0 (History.Delete "b") (History.Existed true) 4 5;
+      ev 3 1 (History.Scan ("a", 8)) (scan_items [ ("a", v1); ("b", v1) ]) 6 7;
+    ]
+
+let test_scan_torn () =
+  (* "a" was overwritten before the scan began: returning the old "a"
+     with the current "b" mixes two points in time. *)
+  check_strict_bad "torn snapshot"
+    [
+      ev 0 0 (put "a" v1) History.Ok_unit 0 1;
+      ev 1 0 (put "b" v1) History.Ok_unit 2 3;
+      ev 2 0 (put "a" v2) History.Ok_unit 4 5;
+      ev 3 1 (History.Scan ("a", 8)) (scan_items [ ("a", v1); ("b", v1) ]) 6 7;
+    ]
+
+let test_scan_missing () =
+  (* "b" is provably present at every candidate snapshot point and inside
+     the scanned range, but the scan skipped it. *)
+  check_strict_bad "missing in-range key"
+    [
+      ev 0 0 (put "a" v1) History.Ok_unit 0 1;
+      ev 1 0 (put "b" v1) History.Ok_unit 2 3;
+      ev 2 0 (put "c" v1) History.Ok_unit 4 5;
+      ev 3 1 (History.Scan ("a", 8)) (scan_items [ ("a", v1); ("c", v1) ]) 6 7;
+    ]
+
+let test_scan_missing_preloaded () =
+  (* A preloaded key nobody ever wrote is constantly present, so a
+     covering scan that omits it is wrong — checkable only because
+     [init_keys] enumerates the preload domain. *)
+  let init k = if k = "b" then Some v1 else None in
+  check_strict_bad ~init ~init_keys:[ "b" ] "preloaded key omitted"
+    [
+      ev 0 0 (put "a" v1) History.Ok_unit 0 1;
+      ev 1 1 (History.Scan ("a", 8)) (scan_items [ ("a", v1) ]) 2 3;
+    ]
+
+let test_scan_strict_accepts () =
+  (* A count-capped scan legitimately cuts the range off at its last
+     returned key. *)
+  check_ok "count cap bounds the range"
+    [
+      ev 0 0 (put "a" v1) History.Ok_unit 0 1;
+      ev 1 0 (put "b" v1) History.Ok_unit 2 3;
+      ev 2 0 (put "c" v1) History.Ok_unit 4 5;
+      ev 3 1 (History.Scan ("a", 2)) (scan_items [ ("a", v1); ("b", v1) ]) 6 7;
+    ];
+  (* A put overlapping the scan may be invisible... *)
+  check_ok "concurrent put invisible"
+    [
+      ev 0 0 (put "a" v1) History.Ok_unit 0 1;
+      ev 1 0 (put "b" v1) History.Ok_unit 2 10;
+      ev 2 1 (History.Scan ("a", 8)) (scan_items [ ("a", v1) ]) 3 4;
+    ];
+  (* ... or visible. *)
+  check_ok "concurrent put visible"
+    [
+      ev 0 0 (put "a" v1) History.Ok_unit 0 1;
+      ev 1 0 (put "b" v1) History.Ok_unit 2 10;
+      ev 2 1 (History.Scan ("a", 8)) (scan_items [ ("a", v1); ("b", v1) ]) 3 4;
+    ];
+  (* A delete overlapping the scan: the scan may linearize first. *)
+  check_ok "concurrent delete not yet applied"
+    [
+      ev 0 0 (put "a" v1) History.Ok_unit 0 1;
+      ev 1 0 (put "b" v1) History.Ok_unit 2 3;
+      ev 2 0 (History.Delete "b") (History.Existed true) 4 10;
+      ev 3 1 (History.Scan ("a", 8)) (scan_items [ ("a", v1); ("b", v1) ]) 5 6;
+    ]
+
+(* Reference store with genuinely atomic operations: state changes and
+   scans happen between engine delays, at one instant. Every history it
+   can produce is linearizable with atomic-snapshot scans, whatever the
+   schedule — the soundness half of the strict checker's contract. *)
+let atomic_kv tbl =
+  let take n l = List.filteri (fun i _ -> i < n) l in
+  {
+    Prism_harness.Kv.name = "atomic";
+    stat_prefix = "atomic";
+    put =
+      (fun ~tid:_ k v ->
+        Engine.delay 1.0;
+        Hashtbl.replace tbl k (Bytes.copy v);
+        Engine.delay 1.0);
+    get =
+      (fun ~tid:_ k ->
+        Engine.delay 1.0;
+        let r = Hashtbl.find_opt tbl k in
+        Engine.delay 1.0;
+        r);
+    delete =
+      (fun ~tid:_ k ->
+        Engine.delay 1.0;
+        let existed = Hashtbl.mem tbl k in
+        Hashtbl.remove tbl k;
+        Engine.delay 1.0;
+        existed);
+    scan =
+      (fun ~tid:_ from n ->
+        Engine.delay 1.0;
+        let items =
+          Hashtbl.fold
+            (fun k v acc ->
+              if String.compare k from >= 0 then (k, v) :: acc else acc)
+            tbl []
+          |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+          |> take n
+        in
+        Engine.delay 1.0;
+        items);
+    quiesce = (fun () -> ());
+    recover = None;
+  }
+
+let test_scan_strict_implies_weak =
+  qcase ~count:30 "strict and weak both accept atomic-store runs"
+    QCheck.(
+      triple
+        (list_of_size (Gen.return 6) (int_bound 15))
+        (list_of_size (Gen.return 6) (int_bound 15))
+        small_int)
+    (fun (p0, p1, seed) ->
+      let decode i =
+        let k = Printf.sprintf "sk%d" (i land 3) in
+        match (i lsr 2) land 3 with
+        | 0 -> `Put k
+        | 1 -> `Delete k
+        | 2 -> `Scan k
+        | _ -> `Get k
+      in
+      let engine = Engine.create () in
+      Engine.set_tie_break engine (Engine.Seeded (Int64.of_int (seed + 1)));
+      let hist = History.create () in
+      let tbl = Hashtbl.create 16 in
+      let kv = History.wrap hist (atomic_kv tbl) in
+      let version = ref 0 in
+      List.iteri
+        (fun tid prog ->
+          Engine.spawn engine (fun () ->
+              List.iter
+                (fun i ->
+                  match decode i with
+                  | `Put k ->
+                      incr version;
+                      kv.Prism_harness.Kv.put ~tid k
+                        (Bytes.of_string (Printf.sprintf "v%d" !version))
+                  | `Delete k -> ignore (kv.Prism_harness.Kv.delete ~tid k)
+                  | `Scan k -> ignore (kv.Prism_harness.Kv.scan ~tid k 3)
+                  | `Get k -> ignore (kv.Prism_harness.Kv.get ~tid k))
+                prog))
+        [ p0; p1 ];
+      ignore (Engine.run engine);
+      let events = History.events hist in
+      Linearize.check events = Ok ()
+      && Linearize.check ~scans:`Weak events = Ok ())
+
 (* ---- whole-run determinism (qcheck) ---- *)
 
 (* Two runs of the same seeded schedule must agree on everything
@@ -517,6 +769,96 @@ let test_dpor_hsit_budget () =
       Alcotest.(check bool) "found within budget runs" true
         (c.Dpor.run <= dpor_budget)
 
+(* ---- scan faults under DPOR ---- *)
+
+(* A scan-heavy slice of the workload: 1 in 4 reads becomes a scan, 1 in 6
+   updates a delete, so scan/write races are dense enough for the faults
+   to manifest within a tiny class budget. *)
+let scan_fault_cfg fault =
+  {
+    Explore.default with
+    Explore.scan_every = 4;
+    delete_every = 6;
+    seed = 1L;
+    fault;
+  }
+
+let scan_budget = 2 (* same class budget the PR 2 fault suite runs under *)
+
+(* Each injected scan anomaly must be (a) caught by the strict snapshot
+   check within the budget, with a replayable decision list and a
+   virtual-time window in the report, and (b) invisible to the legacy
+   weak prefix conditions — the blind spot this PR closes. *)
+let test_scan_fault name fault () =
+  let cfg = scan_fault_cfg fault in
+  let rep = Explore.run_dpor ~stop_on_failure:true ~max_classes:scan_budget cfg in
+  (match rep.Explore.dpor_failures with
+  | [] ->
+      Alcotest.failf "strict checker missed %s within %d classes" name
+        scan_budget
+  | f :: _ ->
+      (match Explore.replay_choices cfg ~choices:f.Explore.choices with
+      | Some _ -> ()
+      | None -> Alcotest.failf "%s failure does not replay" name);
+      Alcotest.(check bool) "violation reports its virtual-time window" true
+        (String.length f.Explore.violation >= 7
+        && String.sub f.Explore.violation 0 7 = "window "));
+  let weak =
+    Explore.run_dpor ~max_classes:scan_budget
+      { cfg with Explore.scan_check = `Weak }
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s is invisible to the weak checker" name)
+    true
+    (weak.Explore.dpor_failures = [])
+
+(* The strict obligation must not over-reject: the same scan-heavy
+   workload with no fault explores clean, on Prism and on KVell. *)
+let test_scan_clean_strict () =
+  List.iter
+    (fun store ->
+      let cfg = { (scan_fault_cfg Explore.No_fault) with Explore.store } in
+      let rep = Explore.run_dpor ~max_classes:3 cfg in
+      match rep.Explore.dpor_failures with
+      | [] -> ()
+      | f :: _ ->
+          Alcotest.failf "clean %s store rejected by strict scan check: %s"
+            (match store with `Prism -> "prism" | `Kvell -> "kvell")
+            f.Explore.violation)
+    [ `Prism; `Kvell ]
+
+(* ---- frontier heuristic ---- *)
+
+(* Two threads, three lockstep writes to one key: 8 classes, one binary
+   decision per instant. Under a 4-class budget, [`Deepest] (DFS
+   backtracking) only ever permutes the tail — every class it completes
+   starts with thread 0 — while [`Frontier] revisits the shallowest open
+   node and covers both first-step orders. At exhaustion the orders
+   agree. *)
+let test_dpor_frontier_spread () =
+  let progs = [ List.init 3 (fun _ -> (0, true)); List.init 3 (fun _ -> (0, true)) ] in
+  let run ~choose = micro_run progs ~tie:(Engine.Guided choose) in
+  let first_tids order budget =
+    let rep = Dpor.explore ~order ~max_classes:budget ~dependent:History.conflicting run in
+    ( List.sort_uniq compare
+        (List.filter_map
+           (fun c ->
+             match c.Dpor.result with (tid, _, _) :: _ -> Some tid | [] -> None)
+           rep.Dpor.classes),
+      rep.Dpor.explored )
+  in
+  let deep, deep_n = first_tids `Deepest 4 in
+  Alcotest.(check int) "deepest completed its budget" 4 deep_n;
+  Alcotest.(check (list int)) "deepest only permutes the tail" [ 0 ] deep;
+  let front, front_n = first_tids `Frontier 4 in
+  Alcotest.(check int) "frontier completed its budget" 4 front_n;
+  Alcotest.(check (list int)) "frontier covers both first-step orders"
+    [ 0; 1 ] front;
+  let _, deep_all = first_tids `Deepest 64 in
+  let _, front_all = first_tids `Frontier 64 in
+  Alcotest.(check int) "deepest exhausts to all 8 classes" 8 deep_all;
+  Alcotest.(check int) "frontier exhausts to the same 8" 8 front_all
+
 (* ---- shrinking ---- *)
 
 (* A config where the SVC fault is genuinely schedule-dependent: the FIFO
@@ -653,6 +995,21 @@ let () =
           case "preloaded initial values" test_linearize_init;
           case "scan monotonic prefix" test_linearize_scan;
         ] );
+      ( "history-labels",
+        [
+          case "tid widening kills aliasing" test_label_tid_widening;
+          case "scan/write range conflicts" test_label_scan_conflicts;
+          case "record is exception-safe" test_record_exception_safe;
+        ] );
+      ( "scan-strict",
+        [
+          case "deleted-key ghost rejected" test_scan_ghost;
+          case "torn snapshot rejected" test_scan_torn;
+          case "missing in-range key rejected" test_scan_missing;
+          case "omitted preloaded key rejected" test_scan_missing_preloaded;
+          case "legitimate scans accepted" test_scan_strict_accepts;
+          test_scan_strict_implies_weak;
+        ] );
       ("determinism", [ test_determinism_qcheck ]);
       ( "explore",
         [
@@ -665,6 +1022,18 @@ let () =
           test_dpor_micro_exact;
           case "svc fault within budget" test_dpor_svc_budget;
           case "hsit fault within budget" test_dpor_hsit_budget;
+          case "frontier spreads a truncated budget" test_dpor_frontier_spread;
+        ] );
+      ( "scan-faults",
+        [
+          case "stale snapshot caught strict, missed weak"
+            (test_scan_fault "scan-stale" Explore.Scan_stale_snapshot);
+          case "skipped PWB caught strict, missed weak"
+            (test_scan_fault "scan-skip-pwb" Explore.Scan_skip_pwb);
+          case "dropped key caught strict, missed weak"
+            (test_scan_fault "scan-drop" Explore.Scan_drop_key);
+          case "clean scan-heavy runs stay linearizable"
+            test_scan_clean_strict;
         ] );
       ("shrink", [ case "svc failure shrinks to one choice" test_shrink_svc ]);
       ( "crash-sweep",
