@@ -165,6 +165,33 @@ let bench_zipfian ~ops ~reps =
       ignore !acc)
     [ ("zipfian.theta099", 0.99); ("zipfian.theta12", 1.2) ]
 
+(* Arrival processes: the open-loop generator hot path. One gap draw per
+   op; the sweep driver calls this once per offered request, so it has to
+   stay cheap relative to the event loop. *)
+let bench_arrival ~ops ~reps =
+  let open Prism_frontend in
+  List.iter
+    (fun (label, make) ->
+      let acc = ref 0.0 in
+      let run () =
+        let a = make (Rng.create 3L) in
+        for _ = 1 to ops do
+          acc := !acc +. Arrival.next_gap a
+        done
+      in
+      report label (measure ~reps ~ops run);
+      ignore !acc)
+    [
+      ("arrival.poisson", fun rng -> Arrival.poisson ~rate:1e6 rng);
+      ( "arrival.mmpp",
+        fun rng ->
+          Arrival.mmpp ~rate_low:2.5e5 ~rate_high:1.75e6 ~dwell_low:2e-4
+            ~dwell_high:2e-4 rng );
+      ( "arrival.diurnal",
+        fun rng ->
+          Arrival.diurnal ~base_rate:5e5 ~peak_rate:1.5e6 ~period:1e-2 rng );
+    ]
+
 (* ---------------------------------------------------------------- *)
 (* Store benchmarks (through the Kv layer)                           *)
 (* ---------------------------------------------------------------- *)
@@ -279,7 +306,11 @@ let scan_number ~key text =
    committed baseline. Store rates are reported but not gated (they are
    noisier: simulated-hardware model work dominates). *)
 let gated_keys =
-  [ "engine_dispatch_per_sec"; "engine_process_per_sec" ]
+  [
+    "engine_dispatch_per_sec";
+    "engine_process_per_sec";
+    "arrival_poisson_per_sec";
+  ]
 
 let check_baseline path =
   let ic = open_in path in
@@ -360,6 +391,7 @@ let () =
     bench_hist ~ops:comp_ops ~reps;
     bench_rng ~ops:comp_ops ~reps;
     bench_zipfian ~ops:comp_ops ~reps;
+    bench_arrival ~ops:comp_ops ~reps;
     bench_stores ~quick ~reps;
     write_json out ~quick;
     match baseline with None -> () | Some path -> check_baseline path

@@ -1,0 +1,451 @@
+(* bench/sweep: offered-load knee curves.
+
+   For each store, calibrate its closed-loop capacity, then drive it
+   open-loop (Prism_frontend) at multiples of that capacity under each
+   admission policy and record goodput, shed rate and latency quantiles —
+   the latency-vs-offered-load "knee curve" family no paper figure covers.
+
+     dune exec bench/sweep.exe --                      default sweep
+     dune exec bench/sweep.exe -- --quick              CI-sized (2 stores
+                                                       x 2 policies)
+     dune exec bench/sweep.exe -- --stores prism,kvell --policies \
+         unbounded,codel --points 0.6,1.0,1.4 --json knee.json
+
+   Everything is virtual time, so a given --seed reproduces the sweep —
+   including the JSON — byte-identically. *)
+
+open Prism_sim
+open Prism_harness
+open Prism_workload
+open Prism_frontend
+
+let pf fmt = Printf.printf fmt
+
+(* ---------------------------------------------------------------- *)
+(* Configuration                                                     *)
+(* ---------------------------------------------------------------- *)
+
+type config = {
+  stores : string list;
+  policies : string list;
+  points : float list; (* offered load as multiples of calibrated capacity *)
+  arrival : string; (* poisson | mmpp | diurnal *)
+  mix : Ycsb.mix;
+  records : int;
+  value_size : int;
+  servers : int;
+  ops : int; (* open-loop arrivals per point *)
+  cal_ops : int; (* closed-loop calibration ops *)
+  theta : float;
+  seed : int64;
+}
+
+let default_config =
+  {
+    stores = [ "prism"; "kvell"; "rocksdb-nvm" ];
+    policies = [ "unbounded"; "bounded"; "token-bucket"; "codel" ];
+    points = [ 0.5; 0.75; 0.9; 1.05; 1.2; 1.5 ];
+    arrival = "poisson";
+    mix = Ycsb.ycsb_b;
+    records = 10_000;
+    value_size = 256;
+    servers = 16;
+    ops = 8_000;
+    cal_ops = 6_000;
+    theta = 0.99;
+    seed = 0xC0FFEEL;
+  }
+
+let quick_config =
+  {
+    default_config with
+    stores = [ "prism"; "kvell" ];
+    policies = [ "unbounded"; "bounded" ];
+    points = [ 0.6; 1.0; 1.8 ];
+    records = 4_000;
+    servers = 8;
+    ops = 6_000;
+    cal_ops = 6_000;
+  }
+
+let store_maker cfg name =
+  let s =
+    {
+      Setup.default_scenario with
+      records = cfg.records;
+      value_size = cfg.value_size;
+      threads = cfg.servers;
+      theta = cfg.theta;
+      seed = cfg.seed;
+    }
+  in
+  match String.lowercase_ascii name with
+  | "prism" -> ("Prism", fun e -> fst (Setup.prism e s))
+  | "kvell" -> ("KVell", fun e -> Setup.kvell e s)
+  | "matrixkv" -> ("MatrixKV", fun e -> Setup.matrixkv e s)
+  | "rocksdb-nvm" | "rocksdb" -> ("RocksDB-NVM", fun e -> Setup.rocksdb_nvm e s)
+  | other -> failwith ("unknown store: " ^ other)
+
+(* Arrival process with long-run mean [rate]. MMPP alternates between a
+   quiet 1/4x and a hot 7/4x state with ~200-arrival dwells; diurnal
+   ramps between 1/2x and 3/2x over two cycles per sweep point. *)
+let arrival_of cfg ~rate rng =
+  match cfg.arrival with
+  | "poisson" -> Arrival.poisson ~rate rng
+  | "mmpp" ->
+      let dwell = 200.0 /. rate in
+      Arrival.mmpp ~rate_low:(0.25 *. rate) ~rate_high:(1.75 *. rate)
+        ~dwell_low:dwell ~dwell_high:dwell rng
+  | "diurnal" ->
+      let period = float_of_int cfg.ops /. rate /. 2.0 in
+      Arrival.diurnal ~base_rate:(0.5 *. rate) ~peak_rate:(1.5 *. rate) ~period
+        rng
+  | other -> failwith ("unknown arrival process: " ^ other)
+
+(* ---------------------------------------------------------------- *)
+(* Per-store sweep                                                   *)
+(* ---------------------------------------------------------------- *)
+
+type point = {
+  multiplier : float;
+  result : Frontend.result;
+}
+
+type curve = { policy_arg : string; policy : Admission.spec; points : point list }
+
+type store_sweep = {
+  store_name : string;
+  capacity : float; (* closed-loop ops per virtual second *)
+  service_p50 : float; (* closed-loop median latency, virtual seconds *)
+  curves : curve list;
+}
+
+(* Closed-loop calibration: the store's saturation throughput with
+   [servers] concurrent clients, and its uncontended median service time.
+   Deterministic, so the whole sweep is a pure function of the seed. *)
+let calibrate cfg make =
+  let e = Engine.create () in
+  let kv = Kv.instrument e (make e) in
+  ignore
+    (Runner.load e kv ~threads:cfg.servers ~records:cfg.records
+       ~value_size:cfg.value_size ~seed:cfg.seed);
+  let r =
+    Runner.run e kv cfg.mix ~threads:cfg.servers ~records:cfg.records
+      ~ops:cfg.cal_ops ~theta:cfg.theta ~value_size:cfg.value_size
+      ~seed:cfg.seed
+  in
+  let capacity = r.Runner.kops *. 1e3 in
+  let service_p50 = Hist.quantile r.Runner.latency 50.0 *. 1e-9 in
+  (capacity, service_p50)
+
+let run_point cfg make ~policy ~policy_arg ~capacity ~multiplier =
+  let e = Engine.create () in
+  let kv = Kv.instrument e (make e) in
+  ignore
+    (Runner.load e kv ~threads:cfg.servers ~records:cfg.records
+       ~value_size:cfg.value_size ~seed:cfg.seed);
+  (* Decorrelate the arrival stream and key sequence across sweep points
+     while keeping every point a pure function of the sweep seed. *)
+  let point_seed =
+    Int64.add cfg.seed
+      (Prism_index.Strhash.fnv1a
+         (Printf.sprintf "knee/%s/%s/%s/%.4f" kv.Kv.name policy_arg cfg.arrival
+            multiplier))
+  in
+  let rng = Rng.create point_seed in
+  let arrival = arrival_of cfg ~rate:(multiplier *. capacity) (Rng.split rng) in
+  let gen =
+    Ycsb.create cfg.mix ~records:cfg.records ~theta:cfg.theta
+      ~value_size:cfg.value_size rng
+  in
+  let trace =
+    Trace.record_timed gen ~gap:(fun () -> Arrival.next_gap arrival) ~ops:cfg.ops
+  in
+  let result =
+    Frontend.run ~servers:cfg.servers e kv ~policy
+      ~offered_rate:(Arrival.mean_rate arrival) ~trace
+  in
+  { multiplier; result }
+
+let sweep_store cfg name =
+  let store_name, make = store_maker cfg name in
+  let capacity, service_p50 = calibrate cfg make in
+  pf "%s: closed-loop capacity %.0f ops/s, service p50 %.1f us\n%!" store_name
+    capacity (service_p50 *. 1e6);
+  let curves =
+    List.map
+      (fun policy_arg ->
+        let policy =
+          match Admission.of_string ~capacity ~servers:cfg.servers policy_arg with
+          | Ok p -> p
+          | Error e -> failwith e
+        in
+        let points =
+          List.map
+            (fun multiplier ->
+              let p =
+                run_point cfg make ~policy ~policy_arg ~capacity ~multiplier
+              in
+              pf "  %-22s x%.2f done\n%!" (Admission.describe policy) multiplier;
+              p)
+            cfg.points
+        in
+        { policy_arg; policy; points })
+      cfg.policies
+  in
+  { store_name; capacity; service_p50; curves }
+
+(* ---------------------------------------------------------------- *)
+(* Reporting                                                         *)
+(* ---------------------------------------------------------------- *)
+
+let q hist p = Hist.us_of_ns (Hist.quantile hist p)
+
+let print_tables sw =
+  List.iter
+    (fun c ->
+      Report.table
+        ~title:
+          (Printf.sprintf "%s / %s — knee curve" sw.store_name
+             (Admission.describe c.policy))
+        ~columns:
+          [
+            "x cap"; "offered/s"; "goodput/s"; "shed %"; "depth";
+            "p50 us"; "p99 us"; "p999 us"; "wait p99 us";
+          ]
+        (List.map
+           (fun { multiplier; result = r } ->
+             [
+               Printf.sprintf "%.2f" multiplier;
+               Printf.sprintf "%.0f" r.Frontend.offered_rate;
+               Printf.sprintf "%.0f" r.Frontend.goodput;
+               Printf.sprintf "%.1f" (100.0 *. Frontend.shed_rate r);
+               string_of_int r.Frontend.max_depth;
+               Printf.sprintf "%.1f" (q r.Frontend.sojourn 50.0);
+               Printf.sprintf "%.1f" (q r.Frontend.sojourn 99.0);
+               Printf.sprintf "%.1f" (q r.Frontend.sojourn 99.9);
+               Printf.sprintf "%.1f" (q r.Frontend.wait 99.0);
+             ])
+           c.points))
+    sw.curves
+
+(* The claim knee curves exist to prove: past the saturation knee an
+   admission policy keeps p99 bounded while the unbounded baseline's
+   diverges. Checked at the highest overload multiplier. *)
+let print_verdict sw =
+  let last_p99 c =
+    match List.rev c.points with
+    | [] -> nan
+    | { result; _ } :: _ -> q result.Frontend.sojourn 99.0
+  in
+  match
+    List.find_opt (fun c -> c.policy = Admission.Unbounded) sw.curves
+  with
+  | None -> ()
+  | Some baseline ->
+      let base_p99 = last_p99 baseline in
+      List.iter
+        (fun c ->
+          if c.policy <> Admission.Unbounded then begin
+            let p99 = last_p99 c in
+            if p99 > 0.0 && base_p99 >= 3.0 *. p99 then
+              pf
+                "  knee: %s bounds p99 at max overload (%.0f us vs unbounded \
+                 %.0f us, %.0fx)\n"
+                (Admission.describe c.policy)
+                p99 base_p99 (base_p99 /. p99)
+            else
+              pf "  knee: %s p99 %.0f us vs unbounded %.0f us\n"
+                (Admission.describe c.policy)
+                p99 base_p99
+          end)
+        sw.curves
+
+(* ---------------------------------------------------------------- *)
+(* JSON export                                                       *)
+(* ---------------------------------------------------------------- *)
+
+(* Hand-rolled like Stats.to_json: fixed field order, fixed float
+   formats, so the same seed writes byte-identical output. *)
+let json_of_sweeps cfg sweeps =
+  let b = Buffer.create 8192 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n";
+  add "  \"schema\": \"prism-knee-v1\",\n";
+  add "  \"seed\": %Ld,\n" cfg.seed;
+  add "  \"mix\": %S,\n" cfg.mix.Ycsb.name;
+  add "  \"arrival\": %S,\n" cfg.arrival;
+  add "  \"servers\": %d,\n" cfg.servers;
+  add "  \"records\": %d,\n" cfg.records;
+  add "  \"value_size\": %d,\n" cfg.value_size;
+  add "  \"ops_per_point\": %d,\n" cfg.ops;
+  add "  \"stores\": [";
+  List.iteri
+    (fun i sw ->
+      if i > 0 then add ",";
+      add "\n    {\n";
+      add "      \"store\": %S,\n" sw.store_name;
+      add "      \"capacity_per_sec\": %.1f,\n" sw.capacity;
+      add "      \"service_p50_us\": %.3f,\n" (sw.service_p50 *. 1e6);
+      add "      \"curves\": [";
+      List.iteri
+        (fun j c ->
+          if j > 0 then add ",";
+          add "\n        {\n";
+          add "          \"policy\": %S,\n" (Admission.name c.policy);
+          add "          \"policy_detail\": %S,\n" (Admission.describe c.policy);
+          add "          \"points\": [";
+          List.iteri
+            (fun k { multiplier; result = r } ->
+              if k > 0 then add ",";
+              add "\n            { \"multiplier\": %.4f" multiplier;
+              add ", \"offered_per_sec\": %.1f" r.Frontend.offered_rate;
+              add ", \"goodput_per_sec\": %.1f" r.Frontend.goodput;
+              add ", \"shed_rate\": %.6f" (Frontend.shed_rate r);
+              add ", \"offered\": %d" r.Frontend.offered;
+              add ", \"completed\": %d" r.Frontend.completed;
+              add ", \"shed\": %d" (Frontend.shed r);
+              add ", \"max_depth\": %d" r.Frontend.max_depth;
+              add ", \"p50_us\": %.3f" (q r.Frontend.sojourn 50.0);
+              add ", \"p99_us\": %.3f" (q r.Frontend.sojourn 99.0);
+              add ", \"p999_us\": %.3f" (q r.Frontend.sojourn 99.9);
+              add ", \"wait_p99_us\": %.3f" (q r.Frontend.wait 99.0);
+              add ", \"service_p99_us\": %.3f" (q r.Frontend.service 99.0);
+              add " }")
+            c.points;
+          add "\n          ]\n        }")
+        sw.curves;
+      add "\n      ]\n    }")
+    sweeps;
+  add "\n  ]\n}\n";
+  Buffer.contents b
+
+(* ---------------------------------------------------------------- *)
+(* CLI                                                               *)
+(* ---------------------------------------------------------------- *)
+
+let () =
+  let open Cmdliner in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"CI-sized sweep: 2 stores x 2 policies x 3 points")
+  in
+  let stores =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stores" ] ~doc:"Comma-separated: prism,kvell,matrixkv,rocksdb-nvm")
+  in
+  let policies =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "policies" ]
+          ~doc:
+            "Comma-separated admission policies: unbounded, bounded[=N], \
+             token-bucket[=RATE[,BURST]], codel[=TARGET_US,INTERVAL_US]")
+  in
+  let points =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "points" ]
+          ~doc:"Comma-separated offered-load multipliers of calibrated capacity")
+  in
+  let arrival =
+    Arg.(
+      value & opt string "poisson"
+      & info [ "arrival" ] ~doc:"Arrival process: poisson | mmpp | diurnal")
+  in
+  let mix =
+    Arg.(
+      value & opt string "b"
+      & info [ "mix" ] ~doc:"Workload mix: a|b|c|d|e|nutanix")
+  in
+  let records =
+    Arg.(value & opt (some int) None & info [ "records" ] ~doc:"Dataset size in keys")
+  in
+  let servers =
+    Arg.(value & opt (some int) None & info [ "servers" ] ~doc:"Server processes draining the queue")
+  in
+  let ops =
+    Arg.(value & opt (some int) None & info [ "ops" ] ~doc:"Open-loop arrivals per sweep point")
+  in
+  let seed =
+    Arg.(value & opt int64 0xC0FFEEL & info [ "seed" ] ~doc:"Sweep seed")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~doc:"Write the knee curves as JSON to $(docv)" ~docv:"FILE")
+  in
+  let gc_tune =
+    Arg.(
+      value & flag
+      & info [ "gc-tune" ]
+          ~doc:"Tune the host GC (wall clock only; results unaffected)")
+  in
+  let main quick stores policies points arrival mix records servers ops seed
+      json gc_tune =
+    if gc_tune then Setup.gc_tune ();
+    let base = if quick then quick_config else default_config in
+    let split s = String.split_on_char ',' s |> List.map String.trim in
+    let mix =
+      match
+        List.find_opt
+          (fun m -> String.lowercase_ascii m.Ycsb.name = String.lowercase_ascii mix)
+          (Ycsb.all_ycsb @ [ Ycsb.nutanix ])
+      with
+      | Some m -> m
+      | None -> failwith ("unknown mix: " ^ mix)
+    in
+    let cfg =
+      {
+        base with
+        stores = (match stores with Some s -> split s | None -> base.stores);
+        policies = (match policies with Some s -> split s | None -> base.policies);
+        points =
+          (match points with
+          | Some s -> List.map float_of_string (split s)
+          | None -> base.points);
+        arrival;
+        mix;
+        records = Option.value records ~default:base.records;
+        servers = Option.value servers ~default:base.servers;
+        ops = Option.value ops ~default:base.ops;
+        seed;
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    Report.section
+      (Printf.sprintf
+         "Offered-load knee curves: %s arrivals, mix %s, %d keys x %dB, %d \
+          servers, %d arrivals/point"
+         cfg.arrival cfg.mix.Ycsb.name cfg.records cfg.value_size cfg.servers
+         cfg.ops);
+    let sweeps = List.map (sweep_store cfg) cfg.stores in
+    List.iter
+      (fun sw ->
+        print_tables sw;
+        print_verdict sw)
+      sweeps;
+    (match json with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (json_of_sweeps cfg sweeps);
+        close_out oc;
+        pf "\nwrote knee curves to %s\n" path
+    | None -> ());
+    pf "\nSweep done in %.1fs wall.\n" (Unix.gettimeofday () -. t0)
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "prism-sweep"
+         ~doc:"Offered-load sweeps past saturation (knee curves)")
+      Term.(
+        const main $ quick $ stores $ policies $ points $ arrival $ mix
+        $ records $ servers $ ops $ seed $ json $ gc_tune)
+  in
+  exit (Cmd.eval cmd)

@@ -11,6 +11,7 @@
 open Prism_sim
 open Prism_harness
 open Prism_workload
+open Prism_frontend
 
 let mix_of_name = function
   | "a" -> Some Ycsb.ycsb_a
@@ -66,8 +67,49 @@ let write_file path contents =
   output_string oc contents;
   close_out oc
 
+(* Open-loop phase: requests arrive at a fixed offered rate regardless of
+   completions, queue in front of the store, and an admission policy
+   decides what to shed — the knee-curve setup of bench/sweep.exe, but for
+   a single hand-picked operating point. *)
+let run_open_loop engine kv ~mix ~records ~theta ~value_size ~ops ~seed ~rate
+    ~arrival ~policy ~servers =
+  let policy_spec =
+    match Admission.of_string ~capacity:rate ~servers policy with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  let point_seed =
+    Int64.add seed
+      (Prism_index.Strhash.fnv1a
+         (Printf.sprintf "open-loop/%s/%s/%.3f" mix.Ycsb.name arrival rate))
+  in
+  let rng = Rng.create point_seed in
+  let arr =
+    match arrival with
+    | "poisson" -> Arrival.poisson ~rate (Rng.split rng)
+    | "mmpp" ->
+        let dwell = 200.0 /. rate in
+        Arrival.mmpp ~rate_low:(0.25 *. rate) ~rate_high:(1.75 *. rate)
+          ~dwell_low:dwell ~dwell_high:dwell (Rng.split rng)
+    | "diurnal" ->
+        let period = float_of_int ops /. rate /. 2.0 in
+        Arrival.diurnal ~base_rate:(0.5 *. rate) ~peak_rate:(1.5 *. rate)
+          ~period (Rng.split rng)
+    | other -> failwith ("unknown arrival process: " ^ other)
+  in
+  let gen = Ycsb.create mix ~records ~theta ~value_size rng in
+  let trace =
+    Trace.record_timed gen ~gap:(fun () -> Arrival.next_gap arr) ~ops
+  in
+  let r =
+    Frontend.run ~servers engine kv ~policy:policy_spec
+      ~offered_rate:(Arrival.mean_rate arr) ~trace
+  in
+  Format.printf "open-loop(%s) %a@." arrival Frontend.pp_result r
+
 let run store_name workloads records value_size threads num_ssds theta ops
-    trace_out trace_in stats stats_json chrome_trace gc_tune =
+    open_loop arrival policy servers trace_out trace_in stats stats_json
+    chrome_trace gc_tune =
   if gc_tune then Setup.gc_tune ();
   let scenario =
     {
@@ -142,6 +184,20 @@ let run store_name workloads records value_size threads num_ssds theta ops
   (match trace_in with
   | Some path -> replay_trace engine kv ~threads path
   | None -> ());
+  (match open_loop with
+  | Some rate ->
+      let mix =
+        match
+          String.split_on_char ',' (String.lowercase_ascii workloads)
+          |> List.filter_map mix_of_name
+        with
+        | m :: _ -> m
+        | [] -> Ycsb.ycsb_b
+      in
+      run_open_loop engine kv ~mix ~records ~theta ~value_size ~ops
+        ~seed:scenario.Setup.seed ~rate ~arrival ~policy
+        ~servers:(Option.value servers ~default:threads)
+  | None -> ());
   let reg = Engine.stats engine in
   Stats.register_gc reg;
   let dev medium =
@@ -190,6 +246,40 @@ let () =
   let ops =
     Arg.(value & opt int 20_000 & info [ "ops" ] ~doc:"Operations per workload")
   in
+  let open_loop =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "open-loop" ]
+          ~doc:
+            "After the workload phases, drive the first named mix open-loop \
+             at $(docv) offered ops per virtual second through a bounded \
+             queue and admission policy"
+          ~docv:"RATE")
+  in
+  let arrival =
+    Arg.(
+      value & opt string "poisson"
+      & info [ "arrival" ]
+          ~doc:"Open-loop arrival process: poisson | mmpp | diurnal")
+  in
+  let policy =
+    Arg.(
+      value & opt string "unbounded"
+      & info [ "policy" ]
+          ~doc:
+            "Open-loop admission policy: unbounded | bounded[=N] | \
+             token-bucket[=RATE[,BURST]] | codel[=TARGET_US,INTERVAL_US]; \
+             defaults scale with the offered rate")
+  in
+  let servers =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "servers" ]
+          ~doc:"Server processes draining the open-loop queue (default: \
+                --threads)")
+  in
   let trace_out =
     Arg.(
       value
@@ -237,7 +327,7 @@ let () =
       (Cmd.info "prism-ycsb" ~doc:"Run YCSB workloads on simulated KV stores")
       Term.(
         const run $ store $ workload $ records $ value_size $ threads $ ssds
-        $ theta $ ops $ trace_out $ trace_in $ stats $ stats_json
-        $ chrome_trace $ gc_tune)
+        $ theta $ ops $ open_loop $ arrival $ policy $ servers $ trace_out
+        $ trace_in $ stats $ stats_json $ chrome_trace $ gc_tune)
   in
   exit (Cmd.eval cmd)

@@ -1,0 +1,175 @@
+open Prism_sim
+open Prism_workload
+open Prism_harness
+
+type result = {
+  store : string;
+  policy : string;
+  offered_rate : float;
+  offered : int;
+  accepted : int;
+  shed_admission : int;
+  shed_dequeue : int;
+  completed : int;
+  max_depth : int;
+  duration : float;
+  elapsed : float;
+  goodput : float;
+  wait : Hist.t;
+  service : Hist.t;
+  sojourn : Hist.t;
+}
+
+let shed r = r.shed_admission + r.shed_dequeue
+
+let shed_rate r =
+  if r.offered = 0 then 0.0 else float_of_int (shed r) /. float_of_int r.offered
+
+let pp_result fmt r =
+  Format.fprintf fmt
+    "%-12s %-22s offered %8.0f/s -> goodput %8.0f/s  shed %5.1f%%  depth<=%-6d \
+     p50 %7.1fus p99 %8.1fus p999 %9.1fus"
+    r.store r.policy r.offered_rate r.goodput
+    (100.0 *. shed_rate r)
+    r.max_depth
+    (Hist.us_of_ns (Hist.quantile r.sojourn 50.0))
+    (Hist.us_of_ns (Hist.quantile r.sojourn 99.0))
+    (Hist.us_of_ns (Hist.quantile r.sojourn 99.9))
+
+type item = Req of float * Trace.op (* arrival time, op *) | Poison
+
+let run ?(prefix = "frontend") ?(servers = 16) engine kv ~policy ~offered_rate
+    ~trace =
+  if servers <= 0 then invalid_arg "Frontend.run: servers must be positive";
+  let ops = Array.length trace in
+  if ops = 0 then invalid_arg "Frontend.run: empty trace";
+  let reg = Engine.stats engine in
+  let pol = Admission.create policy in
+  let mb : item Sync.Mailbox.t = Sync.Mailbox.create () in
+  (* Result histograms are registered under the front-end prefix, so one
+     object feeds both the returned result and the JSON export. *)
+  let wait = Hist.create () and service = Hist.create () in
+  let sojourn = Hist.create () and depth_hist = Hist.create () in
+  Stats.register_histogram reg (prefix ^ ".wait") wait;
+  Stats.register_histogram reg (prefix ^ ".service") service;
+  Stats.register_histogram reg (prefix ^ ".sojourn") sojourn;
+  Stats.register_histogram reg (prefix ^ ".queue.depth") depth_hist;
+  Stats.gauge_int reg (prefix ^ ".queue.depth.live") (fun () ->
+      Sync.Mailbox.length mb);
+  let offered = Stats.counter reg (prefix ^ ".offered") in
+  let accepted = Stats.counter reg (prefix ^ ".accepted") in
+  let shed_admission = Stats.counter reg (prefix ^ ".shed.admission") in
+  let shed_dequeue = Stats.counter reg (prefix ^ ".shed.dequeue") in
+  let completed = Stats.counter reg (prefix ^ ".completed") in
+  let duration = trace.(ops - 1).Trace.at in
+  let tl_interval = Float.max 1e-4 (duration /. 100.0) in
+  let tl_goodput = Stats.timeline reg (prefix ^ ".goodput") ~interval:tl_interval in
+  let tl_shed = Stats.timeline reg (prefix ^ ".shed") ~interval:tl_interval in
+  let kv_wait kind = Kv.wait_histogram engine kv kind in
+  let w_put = kv_wait Kv.Put and w_get = kv_wait Kv.Get in
+  let w_delete = kv_wait Kv.Delete and w_scan = kv_wait Kv.Scan in
+  let max_depth = ref 0 in
+  let first_arrival = ref nan in
+  let last_completion = ref nan in
+  (* Generator: one process releases each request at its arrival stamp and
+     runs the admission decision; accepted requests join the FIFO queue. *)
+  Engine.spawn engine (fun () ->
+      let prev = ref 0.0 in
+      Array.iter
+        (fun { Trace.at; op } ->
+          Engine.delay (at -. !prev);
+          prev := at;
+          let now = Engine.now engine in
+          if Float.is_nan !first_arrival then first_arrival := now;
+          let depth = Sync.Mailbox.length mb in
+          Metric.Counter.incr offered;
+          Hist.record depth_hist depth;
+          match Admission.admit pol ~now ~depth with
+          | Admission.Shed ->
+              Metric.Counter.incr shed_admission;
+              Metric.Timeline.tick tl_shed ~now
+          | Admission.Accept ->
+              Metric.Counter.incr accepted;
+              Sync.Mailbox.send mb (Req (now, op));
+              if depth + 1 > !max_depth then max_depth := depth + 1)
+        trace;
+      (* FIFO: the poison pills sort behind every accepted request, so
+         each server drains its share of the queue before exiting. *)
+      for _ = 1 to servers do
+        Sync.Mailbox.send mb Poison
+      done);
+  let latch = Sync.Latch.create servers in
+  for tid = 0 to servers - 1 do
+    Engine.spawn engine (fun () ->
+        let rec serve () =
+          match Sync.Mailbox.recv mb with
+          | Poison -> Sync.Latch.arrive latch
+          | Req (arrived, op) -> (
+              let now = Engine.now engine in
+              let wait_s = now -. arrived in
+              match
+                Admission.on_dequeue pol ~now ~wait:wait_s
+                  ~depth:(Sync.Mailbox.length mb)
+              with
+              | Admission.Shed ->
+                  Metric.Counter.incr shed_dequeue;
+                  Metric.Timeline.tick tl_shed ~now;
+                  serve ()
+              | Admission.Accept ->
+                  Hist.record_span wait wait_s;
+                  (match op with
+                  | Trace.Delete k ->
+                      Hist.record_span w_delete wait_s;
+                      ignore (kv.Kv.delete ~tid k)
+                  | op -> (
+                      match Trace.materialize op with
+                      | Ycsb.Read k ->
+                          Hist.record_span w_get wait_s;
+                          ignore (kv.Kv.get ~tid k)
+                      | Ycsb.Update (k, v) | Ycsb.Insert (k, v) ->
+                          Hist.record_span w_put wait_s;
+                          kv.Kv.put ~tid k v
+                      | Ycsb.Scan (k, n) ->
+                          Hist.record_span w_scan wait_s;
+                          ignore (kv.Kv.scan ~tid k n)));
+                  let done_at = Engine.now engine in
+                  Hist.record_span service (done_at -. now);
+                  Hist.record_span sojourn (done_at -. arrived);
+                  Metric.Counter.incr completed;
+                  Metric.Timeline.tick tl_goodput ~now:done_at;
+                  last_completion := done_at;
+                  serve ())
+        in
+        serve ())
+  done;
+  Engine.spawn engine (fun () ->
+      Sync.Latch.wait latch;
+      kv.Kv.quiesce ();
+      Engine.stop engine);
+  ignore (Engine.run engine);
+  let n_completed = Metric.Counter.value completed in
+  if
+    n_completed + Metric.Counter.value shed_admission
+    + Metric.Counter.value shed_dequeue
+    <> ops
+  then failwith "Frontend.run: requests lost (deadlock or missing poison)";
+  let elapsed =
+    if n_completed = 0 then 0.0 else !last_completion -. !first_arrival
+  in
+  {
+    store = kv.Kv.name;
+    policy = Admission.describe policy;
+    offered_rate;
+    offered = Metric.Counter.value offered;
+    accepted = Metric.Counter.value accepted;
+    shed_admission = Metric.Counter.value shed_admission;
+    shed_dequeue = Metric.Counter.value shed_dequeue;
+    completed = n_completed;
+    max_depth = !max_depth;
+    duration;
+    elapsed;
+    goodput = (if elapsed > 0.0 then float_of_int n_completed /. elapsed else 0.0);
+    wait;
+    service;
+    sojourn;
+  }

@@ -1,0 +1,73 @@
+(** Open-loop front-end: a request queue with admission control between an
+    arrival process and any {!Prism_harness.Kv.t}.
+
+    Closed-loop drivers ({!Prism_harness.Runner}) can never push a store
+    past saturation — each simulated client waits for its own op. Here
+    requests instead arrive on their own schedule (each arrival is one
+    logical connection's request, so a rate of hundreds of thousands per
+    second stands in for tens of thousands of concurrent clients), join a
+    FIFO queue guarded by an {!Admission} policy, and are drained by a
+    fixed pool of server processes. Past the saturation knee the queue —
+    not the store — owns the tail, which is exactly the regime knee
+    curves measure.
+
+    Telemetry (all in the engine's {!Prism_sim.Stats} registry, under a
+    [prefix] defaulting to ["frontend"]):
+
+    - counters [<p>.offered], [<p>.accepted], [<p>.shed.admission],
+      [<p>.shed.dequeue], [<p>.completed]
+    - histograms [<p>.wait], [<p>.service], [<p>.sojourn] (nanoseconds)
+      and [<p>.queue.depth] (depth observed by each arrival)
+    - timelines [<p>.goodput] (one tick per completion) and [<p>.shed]
+      (one tick per shed)
+    - gauge [<p>.queue.depth.live]
+
+    Queue waits are additionally recorded into the store's
+    ["kv.<prefix>.<op>.wait"] histograms ({!Prism_harness.Kv.wait_histogram}),
+    so a knee curve can attribute tail growth to queueing vs the store. *)
+
+type result = {
+  store : string;
+  policy : string;  (** [Admission.describe] of the policy *)
+  offered_rate : float;  (** requests per virtual second, long-run mean *)
+  offered : int;  (** arrivals generated *)
+  accepted : int;  (** admitted to the queue *)
+  shed_admission : int;  (** shed on arrival (bound / token bucket) *)
+  shed_dequeue : int;  (** dropped at dequeue (CoDel) *)
+  completed : int;
+  max_depth : int;  (** deepest queue any arrival observed *)
+  duration : float;  (** arrival window: first to last arrival, virtual s *)
+  elapsed : float;  (** first arrival to last completion, virtual s *)
+  goodput : float;  (** completed / elapsed, ops per virtual second *)
+  wait : Prism_sim.Hist.t;  (** queue wait of served requests, ns *)
+  service : Prism_sim.Hist.t;  (** store service time, ns *)
+  sojourn : Prism_sim.Hist.t;  (** end-to-end wait + service, ns *)
+}
+
+(** Total shed, both flavours. *)
+val shed : result -> int
+
+(** [shed / offered]; 0 when nothing was offered. *)
+val shed_rate : result -> float
+
+val pp_result : Format.formatter -> result -> unit
+
+(** [run engine kv ~policy ~offered_rate ~trace] replays an arrival-time
+    stamped trace (see {!Prism_workload.Trace.record_timed}) open-loop
+    against [kv]: a generator process releases each request at its stamp,
+    [servers] worker processes drain the queue. Runs the engine to
+    completion of all accepted requests. [offered_rate] is recorded in
+    the result for labelling (use {!Arrival.mean_rate}).
+
+    Determinism: everything downstream of the trace is a pure function of
+    the engine schedule, so the same seed reproduces the identical
+    result. *)
+val run :
+  ?prefix:string ->
+  ?servers:int ->
+  Prism_sim.Engine.t ->
+  Prism_harness.Kv.t ->
+  policy:Admission.spec ->
+  offered_rate:float ->
+  trace:Prism_workload.Trace.timed array ->
+  result

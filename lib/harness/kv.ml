@@ -100,6 +100,19 @@ let of_kvell kv =
     recover = Some (fun () -> Kvell.recover kv);
   }
 
+type op_kind = Put | Get | Delete | Scan
+
+let op_kind_name = function
+  | Put -> "put"
+  | Get -> "get"
+  | Delete -> "delete"
+  | Scan -> "scan"
+
+let wait_histogram engine kv kind =
+  let open Prism_sim in
+  Stats.histogram (Engine.stats engine)
+    ("kv." ^ kv.stat_prefix ^ "." ^ op_kind_name kind ^ ".wait")
+
 let instrument engine kv =
   let open Prism_sim in
   let reg = Engine.stats engine in
@@ -109,6 +122,12 @@ let instrument engine kv =
   let h_get = Stats.histogram reg (p ^ ".get.latency") in
   let h_delete = Stats.histogram reg (p ^ ".delete.latency") in
   let h_scan = Stats.histogram reg (p ^ ".scan.latency") in
+  (* Register the wait side of the wait/service split up front, so every
+     instrumented run exports the full histogram family even when nothing
+     queues (closed loop => count 0). *)
+  List.iter
+    (fun kind -> ignore (wait_histogram engine kv kind))
+    [ Put; Get; Delete; Scan ];
   let put_bytes = Stats.counter reg (p ^ ".put.bytes") in
   (* Observational only: reads the virtual clock around the wrapped call
      and never delays, spawns, or suspends — the event schedule is

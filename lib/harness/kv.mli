@@ -42,5 +42,27 @@ val of_kvell : Prism_baselines.Kvell.t -> t
     span collection is enabled on the engine — a span per operation.
     Purely observational: it only reads {!Prism_sim.Engine.now} and never
     schedules events, so instrumented runs are virtual-time identical to
-    bare ones. *)
+    bare ones.
+
+    Per-op latency is split across two histogram families so overload
+    analysis can attribute tail growth: [".latency"] is {e service time}
+    (the store call itself, measured here), while [".wait"] is {e queue
+    wait} — time spent in a front-end request queue before dispatch,
+    recorded by whoever owns the queue (see {!wait_histogram} and
+    [Prism_frontend]). Closed-loop drivers never record waits, so the
+    [".wait"] histograms instrument registers stay at count 0 there. *)
 val instrument : Prism_sim.Engine.t -> t -> t
+
+(** Operation kinds, for keying per-op metrics. *)
+type op_kind = Put | Get | Delete | Scan
+
+(** ["put"], ["get"], ["delete"], ["scan"]. *)
+val op_kind_name : op_kind -> string
+
+(** [wait_histogram engine kv kind] get-or-creates the
+    ["kv.<prefix>.<op>.wait"] histogram in [engine]'s registry — the
+    queue-wait side of the wait/service split. Front-ends record each
+    dispatched request's queue delay (in nanoseconds of virtual time)
+    here. *)
+val wait_histogram :
+  Prism_sim.Engine.t -> t -> op_kind -> Prism_sim.Hist.t

@@ -1,34 +1,38 @@
-let sub_bucket_bits = 5
+let sub_bucket_bits = 7
 
-let sub_buckets = 1 lsl sub_bucket_bits (* 32 *)
+let sub_buckets = 1 lsl sub_bucket_bits (* 128 *)
 
-let linear_limit = 64
+let linear_limit = 2 * sub_buckets (* 256 *)
 
-(* Index layout: values < 64 map to themselves. A value v >= 64 with top bit
-   position k (so 2^k <= v < 2^(k+1), k >= 6) maps into one of 32 linear
-   sub-buckets of that range. *)
+let linear_bits = sub_bucket_bits + 1 (* msb of the first bucketed range *)
+
+(* Index layout: values < 256 map to themselves. A value v >= 256 with top
+   bit position k (so 2^k <= v < 2^(k+1), k >= 8) maps into one of 128
+   linear sub-buckets of that range, bounding relative quantile error to
+   about 0.8 % — fine enough that p999/p9999 of a knee curve are not
+   bucket-quantization artifacts. *)
 let[@inline] index_of_value v =
   if v < linear_limit then v
   else begin
     let k = Bits.msb v in
     let sub = (v lsr (k - sub_bucket_bits)) land (sub_buckets - 1) in
-    linear_limit + (((k - 6) * sub_buckets) + sub)
+    linear_limit + (((k - linear_bits) * sub_buckets) + sub)
   end
 
 let value_of_index i =
   if i < linear_limit then i
   else begin
     let rel = i - linear_limit in
-    let k = (rel / sub_buckets) + 6 in
+    let k = (rel / sub_buckets) + linear_bits in
     let sub = rel mod sub_buckets in
     (1 lsl k) lor (sub lsl (k - sub_bucket_bits))
   end
 
 (* Largest index any non-negative value can map to: msb <= 62, so
-   64 + 56*32 + 31. Allocating the full table up front (15 KB) keeps
+   256 + 55*128. Allocating the full table up front (~57 KB) keeps
    [record] free of the grow check it would otherwise pay millions of
    times per run. *)
-let table_size = linear_limit + (((62 - 6) * sub_buckets) + sub_buckets)
+let table_size = linear_limit + (((62 - linear_bits) * sub_buckets) + sub_buckets)
 
 type t = {
   counts : int array;
@@ -88,6 +92,38 @@ let percentile t p =
     min t.max_v (max t.min_v !result)
   end
 
+(* Interpolated quantile: locate the bucket holding the continuous rank
+   p/100 * total, then interpolate linearly between the bucket's lower
+   bound and the next bucket's lower bound by the rank's position among
+   the bucket's observations. Tail quantiles (p999, p9999) therefore vary
+   smoothly instead of snapping to bucket boundaries. *)
+let quantile t p =
+  if t.total = 0 then 0.0
+  else begin
+    let p = Float.max 0.0 (Float.min 100.0 p) in
+    let target = Float.max 1.0 (p /. 100.0 *. float_of_int t.total) in
+    let acc = ref 0 in
+    let result = ref (float_of_int t.max_v) in
+    (try
+       for i = 0 to Array.length t.counts - 1 do
+         let c = Array.unsafe_get t.counts i in
+         if c > 0 then begin
+           let cum = float_of_int (!acc + c) in
+           if cum >= target then begin
+             let below = float_of_int !acc in
+             let frac = (target -. below) /. float_of_int c in
+             let lo = float_of_int (value_of_index i) in
+             let hi = float_of_int (value_of_index (i + 1)) in
+             result := lo +. (frac *. (hi -. lo));
+             raise Exit
+           end;
+           acc := !acc + c
+         end
+       done
+     with Exit -> ());
+    Float.min (float_of_int t.max_v) (Float.max (float_of_int t.min_v) !result)
+  end
+
 let median t = percentile t 50.0
 
 let merge ~into src =
@@ -110,3 +146,5 @@ let reset t =
   t.max_v <- 0
 
 let to_us v = float_of_int v /. 1e3
+
+let us_of_ns ns = ns /. 1e3

@@ -7,19 +7,36 @@ type op =
 
 type t = op array
 
-let record gen ~ops =
-  Array.init ops (fun _ ->
-      match Ycsb.next gen with
-      | Ycsb.Read k -> Read k
-      | Ycsb.Update (k, v) -> (
-          match Ycsb.version_of v with
-          | Some ver -> Update (k, Bytes.length v, ver)
-          | None -> Update (k, Bytes.length v, 0))
-      | Ycsb.Insert (k, v) -> (
-          match Ycsb.version_of v with
-          | Some ver -> Insert (k, Bytes.length v, ver)
-          | None -> Insert (k, Bytes.length v, 0))
-      | Ycsb.Scan (k, len) -> Scan (k, len))
+let draw gen =
+  match Ycsb.next gen with
+  | Ycsb.Read k -> Read k
+  | Ycsb.Update (k, v) -> (
+      match Ycsb.version_of v with
+      | Some ver -> Update (k, Bytes.length v, ver)
+      | None -> Update (k, Bytes.length v, 0))
+  | Ycsb.Insert (k, v) -> (
+      match Ycsb.version_of v with
+      | Some ver -> Insert (k, Bytes.length v, ver)
+      | None -> Insert (k, Bytes.length v, 0))
+  | Ycsb.Scan (k, len) -> Scan (k, len)
+
+let record gen ~ops = Array.init ops (fun _ -> draw gen)
+
+type timed = { at : float; op : op }
+
+(* Explicit loop, not [Array.init]: both [gap] and [gen] are stateful
+   streams, and the arrival clock must advance in index order for the
+   stamps to be monotone. *)
+let record_timed gen ~gap ~ops =
+  let trace = Array.make ops { at = 0.0; op = Read "" } in
+  let clock = ref 0.0 in
+  for i = 0 to ops - 1 do
+    clock := !clock +. gap ();
+    trace.(i) <- { at = !clock; op = draw gen }
+  done;
+  trace
+
+let ops_of_timed timed = Array.map (fun { op; _ } -> op) timed
 
 let materialize = function
   | Read k -> Ycsb.Read k
@@ -74,6 +91,43 @@ let of_string s =
     | line :: rest -> (
         match op_of_string line with
         | Ok op -> parse (op :: acc) rest
+        | Error _ as e -> e)
+  in
+  parse [] lines
+
+(* "%.17g" round-trips every float exactly, so a saved arrival schedule
+   replays byte-identically. *)
+let timed_to_string t =
+  let buf = Buffer.create (Array.length t * 40) in
+  Array.iter
+    (fun { at; op } ->
+      Buffer.add_string buf (Printf.sprintf "%.17g %s\n" at (op_to_string op)))
+    t;
+  Buffer.contents buf
+
+let timed_of_string s =
+  let lines =
+    String.split_on_char '\n' s |> List.filter (fun l -> String.trim l <> "")
+  in
+  let parse_line line =
+    let line = String.trim line in
+    match String.index_opt line ' ' with
+    | None -> Error ("unparseable timed trace line: " ^ line)
+    | Some i -> (
+        match float_of_string_opt (String.sub line 0 i) with
+        | None -> Error ("bad arrival time: " ^ line)
+        | Some at -> (
+            match
+              op_of_string (String.sub line (i + 1) (String.length line - i - 1))
+            with
+            | Ok op -> Ok { at; op }
+            | Error _ as e -> e))
+  in
+  let rec parse acc = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | line :: rest -> (
+        match parse_line line with
+        | Ok timed -> parse (timed :: acc) rest
         | Error _ as e -> e)
   in
   parse [] lines

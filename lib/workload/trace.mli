@@ -25,6 +25,27 @@ type t = op array
 (** [record gen ~ops] draws [ops] operations from a YCSB generator. *)
 val record : Ycsb.t -> ops:int -> t
 
+(** An operation stamped with its open-loop arrival time (virtual seconds
+    from the start of the run). *)
+type timed = { at : float; op : op }
+
+(** [record_timed gen ~gap ~ops] draws [ops] operations and stamps each
+    with a cumulative arrival time, pulling successive interarrival gaps
+    from [gap] (e.g. [Prism_frontend.Arrival.next_gap]). Both streams are
+    consumed in index order, so the same generator and gap stream always
+    produce the identical timed trace. *)
+val record_timed : Ycsb.t -> gap:(unit -> float) -> ops:int -> timed array
+
+(** Strip the stamps. *)
+val ops_of_timed : timed array -> t
+
+(** Round-trippable text encoding of a timed trace: one
+    ["<time> <op-line>"] per op, times printed with full precision so a
+    saved schedule replays byte-identically. *)
+val timed_to_string : timed array -> string
+
+val timed_of_string : string -> (timed array, string) result
+
 (** [materialize op] converts a trace op into a concrete {!Ycsb.op}
     ([Delete] has no YCSB equivalent and raises). *)
 val materialize : op -> Ycsb.op

@@ -558,6 +558,81 @@ let prop_hist_percentile_bounds =
       let p50 = Hist.percentile h 50.0 in
       p50 >= Hist.min_value h && p50 <= Hist.max_value h)
 
+let test_hist_quantile_boundaries () =
+  let h = Hist.create () in
+  Alcotest.(check (float 0.0)) "empty" 0.0 (Hist.quantile h 99.0);
+  Hist.record h 777;
+  (* One sample: every quantile is that sample (min/max clamping). *)
+  List.iter
+    (fun p -> Alcotest.(check (float 0.0)) "single" 777.0 (Hist.quantile h p))
+    [ -5.0; 0.0; 50.0; 99.9; 100.0; 150.0 ]
+
+let test_hist_quantile_interpolates () =
+  (* Uniform 1..1000: the interpolated quantile should track p * 10
+     closely, much tighter than one bucket width. *)
+  let h = Hist.create () in
+  for v = 1 to 1000 do
+    Hist.record h v
+  done;
+  List.iter
+    (fun p ->
+      let got = Hist.quantile h p in
+      let want = p *. 10.0 in
+      if Float.abs (got -. want) > 0.02 *. 1000.0 then
+        Alcotest.failf "quantile %.1f: got %.1f, want ~%.1f" p got want)
+    [ 10.0; 25.0; 50.0; 75.0; 90.0; 99.0 ]
+
+let test_hist_quantile_monotone () =
+  let h = Hist.create () in
+  let rng = Rng.create 11L in
+  for _ = 1 to 20_000 do
+    Hist.record h (Rng.int rng 10_000_000)
+  done;
+  let last = ref neg_infinity in
+  List.iter
+    (fun p ->
+      let v = Hist.quantile h p in
+      if v < !last then Alcotest.failf "quantile not monotone at %f" p;
+      last := v)
+    [ 0.0; 1.0; 10.0; 50.0; 90.0; 99.0; 99.9; 99.99; 100.0 ]
+
+let test_hist_quantile_tail_resolution () =
+  (* 9_999 fast ops at ~100ns and one 1ms outlier: p99 must stay at the
+     body while p99.99 reaches the outlier — the tail is not a
+     quantization artifact of coarse buckets. *)
+  let h = Hist.create () in
+  for _ = 1 to 999 do
+    Hist.record h 100
+  done;
+  Hist.record h 1_000_000;
+  (* Rank 990 of 1000 is still in the body; rank 999.5 crosses into the
+     outlier's bucket. *)
+  let p99 = Hist.quantile h 99.0 in
+  let p9995 = Hist.quantile h 99.95 in
+  if p99 > 150.0 then Alcotest.failf "p99 %.1f polluted by outlier" p99;
+  if p9995 < 0.9e6 then Alcotest.failf "p99.95 %.1f misses outlier" p9995
+
+let test_hist_fine_relative_error () =
+  (* 7 sub-bucket bits: worst-case bucket width is ~1/128 of the value. *)
+  let h = Hist.create () in
+  Hist.record h 1_000_000;
+  let err = Float.abs (Hist.quantile h 100.0 -. 1e6) /. 1e6 in
+  if err > 0.01 then Alcotest.failf "fine bucket error %f too large" err;
+  check_approx "us_of_ns" (Hist.us_of_ns 1500.0) 1.5
+
+let prop_hist_quantile_bounds =
+  qcase "quantiles within [min,max]"
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 200) (int_bound 1_000_000))
+        (float_range 0.0 100.0))
+    (fun (vs, p) ->
+      let h = Hist.create () in
+      List.iter (Hist.record h) vs;
+      let q = Hist.quantile h p in
+      q >= float_of_int (Hist.min_value h)
+      && q <= float_of_int (Hist.max_value h))
+
 (* ---- Metric ---- *)
 
 let test_counter () =
@@ -969,6 +1044,12 @@ let () =
           case "record span rounds to nearest" test_hist_record_span_rounding;
           case "negative clamped" test_hist_negative_clamped;
           prop_hist_percentile_bounds;
+          case "quantile boundaries" test_hist_quantile_boundaries;
+          case "quantile interpolates" test_hist_quantile_interpolates;
+          case "quantile monotone" test_hist_quantile_monotone;
+          case "quantile tail resolution" test_hist_quantile_tail_resolution;
+          case "fine relative error" test_hist_fine_relative_error;
+          prop_hist_quantile_bounds;
         ] );
       ( "metric",
         [
