@@ -1,0 +1,419 @@
+(* bench/scenario: the time-varying scenario suite with pass/fail
+   telemetry verdicts.
+
+   For each (scenario, store) pair: calibrate the store's closed-loop
+   capacity, scale the scenario's unit phase length so its expected
+   arrival count meets the op budget at that capacity, synthesize the
+   timed trace, replay it open-loop, and evaluate the scenario's
+   assertions against the windowed telemetry.
+
+     dune exec bench/scenario.exe --                    full suite
+     dune exec bench/scenario.exe -- --quick            CI-sized
+     dune exec bench/scenario.exe -- --list             name the suite
+     dune exec bench/scenario.exe -- --scenarios flash-crowd \
+         --stores prism,kvell --json scenario.json --strict
+
+   Everything is virtual time: a given --seed reproduces every verdict —
+   and the JSON — byte-identically. *)
+
+open Prism_sim
+open Prism_harness
+open Prism_frontend
+open Prism_scenario
+
+let pf fmt = Printf.printf fmt
+
+(* ---------------------------------------------------------------- *)
+(* Configuration                                                     *)
+(* ---------------------------------------------------------------- *)
+
+type config = {
+  stores : string list;
+  scenarios : string list;
+  policy : string;
+  records : int;
+  value_size : int;
+  servers : int;
+  ops : int; (* arrival budget per scenario run *)
+  cal_ops : int; (* closed-loop calibration ops *)
+  theta : float;
+  seed : int64;
+}
+
+let default_config =
+  {
+    stores = [ "prism"; "kvell"; "rocksdb-nvm" ];
+    scenarios = Library.names;
+    policy = "bounded";
+    records = 8_000;
+    value_size = 256;
+    servers = 16;
+    ops = 12_000;
+    cal_ops = 6_000;
+    theta = 0.99;
+    seed = 0xC0FFEEL;
+  }
+
+let quick_config =
+  {
+    default_config with
+    stores = [ "prism"; "kvell" ];
+    scenarios = [ "flash-crowd" ];
+    records = 4_000;
+    servers = 8;
+    ops = 6_000;
+    cal_ops = 5_000;
+  }
+
+let store_maker cfg name =
+  let s =
+    {
+      Setup.default_scenario with
+      records = cfg.records;
+      value_size = cfg.value_size;
+      threads = cfg.servers;
+      theta = cfg.theta;
+      seed = cfg.seed;
+    }
+  in
+  match String.lowercase_ascii name with
+  | "prism" -> (fun e -> fst (Setup.prism e s))
+  | "kvell" -> (fun e -> Setup.kvell e s)
+  | "matrixkv" -> (fun e -> Setup.matrixkv e s)
+  | "rocksdb-nvm" | "rocksdb" -> (fun e -> Setup.rocksdb_nvm e s)
+  | other -> failwith ("unknown store: " ^ other)
+
+let calibrate cfg make =
+  let e = Engine.create () in
+  let kv = Kv.instrument e (make e) in
+  ignore
+    (Runner.load e kv ~threads:cfg.servers ~records:cfg.records
+       ~value_size:cfg.value_size ~seed:cfg.seed);
+  let r =
+    Runner.run e kv Prism_workload.Ycsb.ycsb_b ~threads:cfg.servers
+      ~records:cfg.records ~ops:cfg.cal_ops ~theta:cfg.theta
+      ~value_size:cfg.value_size ~seed:cfg.seed
+  in
+  r.Runner.kops *. 1e3
+
+(* ---------------------------------------------------------------- *)
+(* One (scenario, store) run                                         *)
+(* ---------------------------------------------------------------- *)
+
+type run = {
+  scenario_name : string;
+  store_name : string;
+  capacity : float;
+  dur : float; (* unit phase length, virtual seconds *)
+  outcome : Scenario.outcome;
+  verdicts : Assertion.verdict list;
+  checks : Assertion.t list;
+}
+
+let run_pass r = Assertion.passed r.verdicts
+
+let run_one cfg ~ename ~store =
+  let entry =
+    match Library.find ename with
+    | Some e -> e
+    | None -> failwith ("unknown scenario: " ^ ename)
+  in
+  let make = store_maker cfg store in
+  let capacity = calibrate cfg make in
+  (* Scale the unit phase length so the whole scenario offers ~ops
+     arrivals at this store's capacity. Durations (and ramps, and
+     assertion windows) are all multiples of dur, so expected arrivals
+     scale linearly in it. *)
+  let unit = entry.Library.build ~dur:1.0 ~records:cfg.records in
+  let per_unit =
+    Scenario.expected_arrivals unit.Library.spec ~base_rate:capacity
+  in
+  let dur = float_of_int cfg.ops /. per_unit in
+  let built = entry.Library.build ~dur ~records:cfg.records in
+  let policy =
+    match Admission.of_string ~capacity ~servers:cfg.servers cfg.policy with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  (* Decorrelate the trace across (scenario, store) pairs while keeping
+     each a pure function of the suite seed. *)
+  let seed =
+    Int64.add cfg.seed
+      (Prism_index.Strhash.fnv1a (Printf.sprintf "scenario/%s/%s" ename store))
+  in
+  let trace =
+    Scenario.synthesize built.Library.spec ~base_rate:capacity
+      ~records:cfg.records ~seed
+  in
+  let e = Engine.create () in
+  let kv = Kv.instrument e (make e) in
+  ignore
+    (Runner.load e kv ~threads:cfg.servers ~records:cfg.records
+       ~value_size:cfg.value_size ~seed:cfg.seed);
+  let outcome =
+    Scenario.run ~servers:cfg.servers e kv built.Library.spec ~policy
+      ~base_rate:capacity ~probes:built.Library.probes ~trace
+  in
+  let checks = Library.checks_for built ~store:kv.Kv.name in
+  let verdicts = Assertion.eval_all checks outcome in
+  {
+    scenario_name = ename;
+    store_name = kv.Kv.name;
+    capacity;
+    dur;
+    outcome;
+    verdicts;
+    checks;
+  }
+
+(* ---------------------------------------------------------------- *)
+(* Reporting                                                         *)
+(* ---------------------------------------------------------------- *)
+
+let qs h p = Hist.us_of_ns (Hist.quantile h p)
+
+let print_run r =
+  let o = r.outcome in
+  Report.table
+    ~title:
+      (Printf.sprintf "%s / %s — %s, capacity %.0f ops/s" r.scenario_name
+         r.store_name o.Scenario.policy r.capacity)
+    ~columns:
+      [
+        "phase"; "span s"; "offered"; "shed"; "completed"; "p50 us"; "p99 us";
+      ]
+    (Array.to_list
+       (Array.map
+          (fun ps ->
+            [
+              ps.Scenario.ps_name;
+              Printf.sprintf "%.2f-%.2f" ps.Scenario.ps_start
+                ps.Scenario.ps_end;
+              string_of_int ps.Scenario.ps_offered;
+              string_of_int
+                (ps.Scenario.ps_shed_admission + ps.Scenario.ps_shed_dequeue);
+              string_of_int ps.Scenario.ps_completed;
+              Printf.sprintf "%.1f" (qs ps.Scenario.ps_sojourn 50.0);
+              Printf.sprintf "%.1f" (qs ps.Scenario.ps_sojourn 99.0);
+            ])
+          o.Scenario.phases));
+  List.iter2
+    (fun (c : Assertion.t) (v : Assertion.verdict) ->
+      pf "  %s %-24s %s/%s: %s\n"
+        (if v.Assertion.v_pass then "PASS" else "FAIL")
+        v.Assertion.v_label c.Assertion.phase
+        (Assertion.series_name c.Assertion.series)
+        v.Assertion.v_detail)
+    r.checks r.verdicts;
+  pf "\n"
+
+(* ---------------------------------------------------------------- *)
+(* JSON export                                                       *)
+(* ---------------------------------------------------------------- *)
+
+(* Hand-rolled like bench/sweep: fixed field order, fixed float formats,
+   so the same seed writes byte-identical output. *)
+let json_of_runs cfg runs =
+  let b = Buffer.create 8192 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n";
+  add "  \"schema\": \"prism-scenario-v1\",\n";
+  add "  \"seed\": %Ld,\n" cfg.seed;
+  add "  \"records\": %d,\n" cfg.records;
+  add "  \"value_size\": %d,\n" cfg.value_size;
+  add "  \"servers\": %d,\n" cfg.servers;
+  add "  \"ops_budget\": %d,\n" cfg.ops;
+  add "  \"policy\": %S,\n" cfg.policy;
+  add "  \"runs\": [";
+  List.iteri
+    (fun i r ->
+      let o = r.outcome in
+      if i > 0 then add ",";
+      add "\n    {\n";
+      add "      \"scenario\": %S,\n" r.scenario_name;
+      add "      \"store\": %S,\n" r.store_name;
+      add "      \"policy\": %S,\n" o.Scenario.policy;
+      add "      \"capacity_per_sec\": %.1f,\n" r.capacity;
+      add "      \"unit_dur_s\": %.6f,\n" r.dur;
+      add "      \"window_s\": %.6f,\n" o.Scenario.interval;
+      add "      \"offered\": %d,\n" o.Scenario.offered;
+      add "      \"accepted\": %d,\n" o.Scenario.accepted;
+      add "      \"shed_admission\": %d,\n" o.Scenario.shed_admission;
+      add "      \"shed_dequeue\": %d,\n" o.Scenario.shed_dequeue;
+      add "      \"completed\": %d,\n" o.Scenario.completed;
+      add "      \"phases\": [";
+      Array.iteri
+        (fun j ps ->
+          if j > 0 then add ",";
+          add "\n        { \"name\": %S" ps.Scenario.ps_name;
+          add ", \"start_s\": %.6f" ps.Scenario.ps_start;
+          add ", \"end_s\": %.6f" ps.Scenario.ps_end;
+          add ", \"offered\": %d" ps.Scenario.ps_offered;
+          add ", \"accepted\": %d" ps.Scenario.ps_accepted;
+          add ", \"shed_admission\": %d" ps.Scenario.ps_shed_admission;
+          add ", \"shed_dequeue\": %d" ps.Scenario.ps_shed_dequeue;
+          add ", \"completed\": %d" ps.Scenario.ps_completed;
+          add ", \"p50_us\": %.3f" (qs ps.Scenario.ps_sojourn 50.0);
+          add ", \"p99_us\": %.3f" (qs ps.Scenario.ps_sojourn 99.0);
+          add " }")
+        o.Scenario.phases;
+      add "\n      ],\n";
+      add "      \"assertions\": [";
+      List.iteri
+        (fun j ((c : Assertion.t), (v : Assertion.verdict)) ->
+          if j > 0 then add ",";
+          add "\n        { \"label\": %S" v.Assertion.v_label;
+          add ", \"phase\": %S" c.Assertion.phase;
+          add ", \"series\": %S" (Assertion.series_name c.Assertion.series);
+          add ", \"pass\": %b" v.Assertion.v_pass;
+          add ", \"detail\": %S" v.Assertion.v_detail;
+          add " }")
+        (List.combine r.checks r.verdicts);
+      add "\n      ],\n";
+      add "      \"pass\": %b\n" (run_pass r);
+      add "    }")
+    runs;
+  add "\n  ],\n";
+  add "  \"pass\": %b\n" (List.for_all run_pass runs);
+  add "}\n";
+  Buffer.contents b
+
+(* ---------------------------------------------------------------- *)
+(* CLI                                                               *)
+(* ---------------------------------------------------------------- *)
+
+let () =
+  let open Cmdliner in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"CI-sized: one scenario x two stores")
+  in
+  let list_flag =
+    Arg.(value & flag & info [ "list" ] ~doc:"List scenarios and exit")
+  in
+  let stores =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stores" ]
+          ~doc:"Comma-separated: prism,kvell,matrixkv,rocksdb-nvm")
+  in
+  let scenarios =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scenarios" ]
+          ~doc:"Comma-separated scenario names (see --list)")
+  in
+  let policy =
+    Arg.(
+      value & opt string "bounded"
+      & info [ "policy" ]
+          ~doc:
+            "Admission policy: unbounded, bounded[=N], \
+             token-bucket[=RATE[,BURST]], codel[=TARGET_US,INTERVAL_US]")
+  in
+  let records =
+    Arg.(
+      value & opt (some int) None
+      & info [ "records" ] ~doc:"Dataset size in keys")
+  in
+  let servers =
+    Arg.(
+      value & opt (some int) None
+      & info [ "servers" ] ~doc:"Server processes draining the queue")
+  in
+  let ops =
+    Arg.(
+      value & opt (some int) None
+      & info [ "ops" ] ~doc:"Arrival budget per scenario run")
+  in
+  let seed =
+    Arg.(value & opt int64 0xC0FFEEL & info [ "seed" ] ~doc:"Suite seed")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ]
+          ~doc:"Write prism-scenario-v1 verdicts as JSON to $(docv)"
+          ~docv:"FILE")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Exit nonzero when any assertion fails")
+  in
+  let gc_tune =
+    Arg.(
+      value & flag
+      & info [ "gc-tune" ]
+          ~doc:"Tune the host GC (wall clock only; results unaffected)")
+  in
+  let main quick list_flag stores scenarios policy records servers ops seed
+      json strict gc_tune =
+    if list_flag then begin
+      List.iter
+        (fun e -> pf "%-14s %s\n" e.Library.ename e.Library.esummary)
+        Library.all;
+      exit 0
+    end;
+    if gc_tune then Setup.gc_tune ();
+    let base = if quick then quick_config else default_config in
+    let split s = String.split_on_char ',' s |> List.map String.trim in
+    let cfg =
+      {
+        base with
+        stores = (match stores with Some s -> split s | None -> base.stores);
+        scenarios =
+          (match scenarios with Some s -> split s | None -> base.scenarios);
+        policy;
+        records = Option.value records ~default:base.records;
+        servers = Option.value servers ~default:base.servers;
+        ops = Option.value ops ~default:base.ops;
+        seed;
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    Report.section
+      (Printf.sprintf
+         "Scenario suite: %d keys x %dB, %d servers, ~%d arrivals per run, \
+          policy %s"
+         cfg.records cfg.value_size cfg.servers cfg.ops cfg.policy);
+    let runs =
+      List.concat_map
+        (fun ename ->
+          List.map
+            (fun store ->
+              let r = run_one cfg ~ename ~store in
+              pf "%s / %s: %s\n%!" ename r.store_name
+                (if run_pass r then "pass" else "FAIL");
+              r)
+            cfg.stores)
+        cfg.scenarios
+    in
+    pf "\n";
+    List.iter print_run runs;
+    (match json with
+    | Some path ->
+        let out = open_out path in
+        output_string out (json_of_runs cfg runs);
+        close_out out;
+        pf "wrote %s\n" path
+    | None -> ());
+    let failed = List.filter (fun r -> not (run_pass r)) runs in
+    pf "suite: %d/%d runs pass (%.1fs wall)\n"
+      (List.length runs - List.length failed)
+      (List.length runs)
+      (Unix.gettimeofday () -. t0);
+    if strict && failed <> [] then exit 1
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "scenario" ~doc:"Time-varying scenario suite with verdicts")
+      Term.(
+        const main $ quick $ list_flag $ stores $ scenarios $ policy $ records
+        $ servers $ ops $ seed $ json $ strict $ gc_tune)
+  in
+  exit (Cmd.eval cmd)

@@ -107,9 +107,84 @@ let run_open_loop engine kv ~mix ~records ~theta ~value_size ~ops ~seed ~rate
   in
   Format.printf "open-loop(%s) %a@." arrival Frontend.pp_result r
 
-let run store_name workloads records value_size threads num_ssds theta ops
-    open_loop arrival policy servers trace_out trace_in stats stats_json
-    chrome_trace gc_tune =
+(* Scenario mode: calibrate the store's closed-loop capacity on a scratch
+   engine, scale the named scenario to the op budget, then synthesize and
+   replay it open-loop on the main engine — the single-store flavour of
+   bench/scenario.exe. *)
+let run_scenario make engine kv ~ename ~records ~value_size ~threads ~theta
+    ~ops ~seed ~policy ~servers =
+  let open Prism_scenario in
+  let entry =
+    match Library.find ename with
+    | Some e -> e
+    | None ->
+        failwith
+          (Printf.sprintf "unknown scenario %s (have: %s)" ename
+             (String.concat ", " Library.names))
+  in
+  let cal_e = Engine.create () in
+  let cal_kv = Kv.instrument cal_e (make cal_e) in
+  ignore (Runner.load cal_e cal_kv ~threads ~records ~value_size ~seed);
+  let r =
+    Runner.run cal_e cal_kv Ycsb.ycsb_b ~threads ~records ~ops:(min ops 6_000)
+      ~theta ~value_size ~seed
+  in
+  let capacity = r.Runner.kops *. 1e3 in
+  Printf.printf "scenario %s: closed-loop capacity %.0f ops/s\n" ename capacity;
+  let unit = entry.Library.build ~dur:1.0 ~records in
+  let per_unit =
+    Scenario.expected_arrivals unit.Library.spec ~base_rate:capacity
+  in
+  let dur = float_of_int ops /. per_unit in
+  let built = entry.Library.build ~dur ~records in
+  let policy_spec =
+    match Admission.of_string ~capacity ~servers policy with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  let seed' =
+    Int64.add seed
+      (Prism_index.Strhash.fnv1a
+         (Printf.sprintf "scenario/%s/%s" ename kv.Kv.name))
+  in
+  let trace =
+    Scenario.synthesize built.Library.spec ~base_rate:capacity ~records
+      ~seed:seed'
+  in
+  ignore (Runner.load engine kv ~threads ~records ~value_size ~seed);
+  let o =
+    Scenario.run ~servers engine kv built.Library.spec ~policy:policy_spec
+      ~base_rate:capacity ~probes:built.Library.probes ~trace
+  in
+  let q h p = Hist.us_of_ns (Hist.quantile h p) in
+  Array.iter
+    (fun ps ->
+      Printf.printf
+        "  phase %-10s [%6.3f,%6.3f)s offered %5d shed %5d completed %5d \
+         p50 %7.1f us p99 %7.1f us\n"
+        ps.Scenario.ps_name ps.Scenario.ps_start ps.Scenario.ps_end
+        ps.Scenario.ps_offered
+        (ps.Scenario.ps_shed_admission + ps.Scenario.ps_shed_dequeue)
+        ps.Scenario.ps_completed
+        (q ps.Scenario.ps_sojourn 50.0)
+        (q ps.Scenario.ps_sojourn 99.0))
+    o.Scenario.phases;
+  let checks = Library.checks_for built ~store:kv.Kv.name in
+  let verdicts = Assertion.eval_all checks o in
+  List.iter2
+    (fun (c : Assertion.t) (v : Assertion.verdict) ->
+      Printf.printf "  %s %-24s %s/%s: %s\n"
+        (if v.Assertion.v_pass then "PASS" else "FAIL")
+        v.Assertion.v_label c.Assertion.phase
+        (Assertion.series_name c.Assertion.series)
+        v.Assertion.v_detail)
+    checks verdicts;
+  Printf.printf "scenario %s on %s: %s\n" ename kv.Kv.name
+    (if Assertion.passed verdicts then "pass" else "FAIL")
+
+let run store_name workloads scenario_arg records value_size threads num_ssds
+    theta ops open_loop arrival policy servers trace_out trace_in stats
+    stats_json chrome_trace gc_tune =
   if gc_tune then Setup.gc_tune ();
   let scenario =
     {
@@ -160,6 +235,12 @@ let run store_name workloads records value_size threads num_ssds theta ops
       Trace.save trace ~path;
       Printf.printf "recorded %d %s-ops to %s\n" ops mix.Ycsb.name path
   | None -> ());
+  (match scenario_arg with
+  | Some ename ->
+      run_scenario make engine kv ~ename ~records ~value_size ~threads ~theta
+        ~ops ~seed:scenario.Setup.seed ~policy
+        ~servers:(Option.value servers ~default:threads)
+  | None ->
   let phases = String.split_on_char ',' (String.lowercase_ascii workloads) in
   List.iter
     (fun phase ->
@@ -180,7 +261,7 @@ let run store_name workloads records value_size threads num_ssds theta ops
               in
               Format.printf "%a@." Runner.pp_result r
           | None -> Printf.eprintf "skipping unknown workload %S\n" name))
-    phases;
+    phases);
   (match trace_in with
   | Some path -> replay_trace engine kv ~threads path
   | None -> ());
@@ -229,6 +310,18 @@ let () =
     Arg.(
       value & opt string "load,a,b,c,d,e"
       & info [ "workload" ] ~doc:"Comma-separated: load,a,b,c,d,e,nutanix")
+  in
+  let scenario_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scenario" ]
+          ~doc:
+            "Run a named time-varying scenario (flash-crowd, drift, \
+             heavy-tail, growth, delete-churn) instead of the workload \
+             phases, printing per-phase telemetry and assertion verdicts; \
+             pair with --policy bounded for overload phases"
+          ~docv:"NAME")
   in
   let records =
     Arg.(value & opt int 20_000 & info [ "records" ] ~doc:"Dataset size in keys")
@@ -326,7 +419,7 @@ let () =
     Cmd.v
       (Cmd.info "prism-ycsb" ~doc:"Run YCSB workloads on simulated KV stores")
       Term.(
-        const run $ store $ workload $ records $ value_size $ threads $ ssds
+        const run $ store $ workload $ scenario_arg $ records $ value_size $ threads $ ssds
         $ theta $ ops $ open_loop $ arrival $ policy $ servers $ trace_out
         $ trace_in $ stats $ stats_json $ chrome_trace $ gc_tune)
   in

@@ -130,9 +130,14 @@ let on_dequeue t ~now ~wait ~depth =
   | S_codel c ->
       if wait < c.target || depth = 0 then begin
         (* Standing delay is back under target (or the queue drained):
-           leave the dropping state entirely. *)
+           leave the dropping state entirely, control-law memory
+           included — re-entering congestion later (e.g. in the next
+           scenario phase) must behave exactly like a fresh policy, with
+           a full interval of grace and drop spacing restarted from 1. *)
         c.first_above <- 0.0;
         c.dropping <- false;
+        c.drop_next <- 0.0;
+        c.drop_count <- 0;
         Accept
       end
       else if c.first_above = 0.0 then begin

@@ -1,0 +1,179 @@
+type series = P50_us | P99_us | Goodput | Depth | Probe of string
+
+type predicate =
+  | Recovers_within of { baseline : string; factor : float; within : float }
+  | Bounded of { max : float }
+  | Shed_fraction of { max : float }
+  | Moves of { min_delta : float }
+
+type t = {
+  label : string;
+  phase : string;
+  series : series;
+  predicate : predicate;
+}
+
+type verdict = { v_label : string; v_pass : bool; v_detail : string }
+
+let series_name = function
+  | P50_us -> "p50_us"
+  | P99_us -> "p99_us"
+  | Goodput -> "goodput"
+  | Depth -> "depth"
+  | Probe n -> "probe:" ^ n
+
+let eps = 1e-9
+
+(* Latency quantiles are undefined in windows with no completions; the
+   other series are meaningful everywhere. *)
+let latency_series = function P50_us | P99_us -> true | _ -> false
+
+let series_values (o : Scenario.outcome) = function
+  | P50_us -> Ok (Array.map (fun w -> w.Scenario.w_p50_us) o.Scenario.windows)
+  | P99_us -> Ok (Array.map (fun w -> w.Scenario.w_p99_us) o.Scenario.windows)
+  | Goodput ->
+      Ok
+        (Array.map
+           (fun w -> float_of_int w.Scenario.w_completed)
+           o.Scenario.windows)
+  | Depth ->
+      Ok (Array.map (fun w -> float_of_int w.Scenario.w_depth) o.Scenario.windows)
+  | Probe name -> (
+      match List.assoc_opt name o.Scenario.probes with
+      | Some a -> Ok a
+      | None -> Error (Printf.sprintf "probe %s not sampled" name))
+
+let find_phase (o : Scenario.outcome) name =
+  Array.to_seq o.Scenario.phases
+  |> Seq.find (fun ps -> ps.Scenario.ps_name = name)
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then None
+  else if n mod 2 = 1 then Some a.(n / 2)
+  else Some ((a.((n / 2) - 1) +. a.(n / 2)) /. 2.0)
+
+let eval a (o : Scenario.outcome) =
+  let verdict pass detail = { v_label = a.label; v_pass = pass; v_detail = detail } in
+  let fail fmt = Printf.ksprintf (fun d -> verdict false d) fmt in
+  match find_phase o a.phase with
+  | None -> fail "unknown phase %s" a.phase
+  | Some ps -> (
+      match series_values o a.series with
+      | Error e -> fail "%s" e
+      | Ok values ->
+          let windows = o.Scenario.windows in
+          let n = min (Array.length windows) (Array.length values) in
+          let in_span lo hi i =
+            let s = windows.(i).Scenario.w_start in
+            s >= lo -. eps && s < hi -. eps
+          in
+          let live i =
+            (not (latency_series a.series))
+            || windows.(i).Scenario.w_completed > 0
+          in
+          let span_values lo hi =
+            List.filter_map
+              (fun i ->
+                if in_span lo hi i && live i then Some values.(i) else None)
+              (List.init n (fun i -> i))
+          in
+          let lo = ps.Scenario.ps_start and hi = ps.Scenario.ps_end in
+          (match a.predicate with
+          | Shed_fraction { max } ->
+              let offered = ps.Scenario.ps_offered in
+              let shed =
+                ps.Scenario.ps_shed_admission + ps.Scenario.ps_shed_dequeue
+              in
+              let frac =
+                if offered = 0 then 0.0
+                else float_of_int shed /. float_of_int offered
+              in
+              verdict (frac <= max +. eps)
+                (Printf.sprintf "shed=%d offered=%d frac=%.4f limit=%.4f" shed
+                   offered frac max)
+          | Bounded { max } ->
+              let vs = span_values lo hi in
+              let worst = List.fold_left Float.max neg_infinity vs in
+              if vs = [] then verdict true "no samples in phase (vacuous)"
+              else
+                verdict (worst <= max +. eps)
+                  (Printf.sprintf "max_seen=%.3f limit=%.3f windows=%d" worst
+                     max (List.length vs))
+          | Moves { min_delta } ->
+              let delta =
+                match a.series with
+                | Probe _ ->
+                    (* Probes are cumulative samples: movement is the last
+                       in-phase sample minus the last pre-phase sample. *)
+                    let last_le t =
+                      let r = ref None in
+                      for i = 0 to n - 1 do
+                        if windows.(i).Scenario.w_start < t -. eps then
+                          r := Some values.(i)
+                      done;
+                      !r
+                    in
+                    let before = Option.value (last_le lo) ~default:0.0 in
+                    let v_in =
+                      Option.value (last_le hi) ~default:before
+                    in
+                    v_in -. before
+                | _ -> List.fold_left ( +. ) 0.0 (span_values lo hi)
+              in
+              verdict
+                (delta >= min_delta -. eps)
+                (Printf.sprintf "delta=%.3f min=%.3f" delta min_delta)
+          | Recovers_within { baseline; factor; within } -> (
+              match find_phase o baseline with
+              | None -> fail "unknown baseline phase %s" baseline
+              | Some bs -> (
+                  let base_vs =
+                    span_values bs.Scenario.ps_start bs.Scenario.ps_end
+                  in
+                  match median base_vs with
+                  | None -> fail "baseline phase %s has no samples" baseline
+                  | Some base ->
+                      let threshold = factor *. base in
+                      let deadline = hi +. within in
+                      (* First window starting at or after the phase's end
+                         whose value is back under the threshold; windows
+                         with no completions count as recovered for
+                         latency series (nothing is slow in them). *)
+                      let recovered_at = ref None in
+                      let any_after = ref false in
+                      (try
+                         for i = 0 to n - 1 do
+                           let s = windows.(i).Scenario.w_start in
+                           if s >= hi -. eps then begin
+                             any_after := true;
+                             if (not (live i)) || values.(i) <= threshold +. eps
+                             then begin
+                               recovered_at := Some s;
+                               raise Exit
+                             end
+                           end
+                         done;
+                         (* No window at all after the phase: the backlog
+                            drained before the next boundary — recovered. *)
+                         if not !any_after then recovered_at := Some hi
+                       with Exit -> ());
+                      (match !recovered_at with
+                      | None ->
+                          fail
+                            "baseline=%.3f threshold=%.3f never recovered \
+                             (deadline=%.3f)"
+                            base threshold deadline
+                      | Some at ->
+                          verdict (at <= deadline +. eps)
+                            (Printf.sprintf
+                               "baseline=%.3f threshold=%.3f \
+                                recovered_at=%.3f deadline=%.3f"
+                               base threshold at deadline)))))
+          )
+
+let eval_all ts o = List.map (fun a -> eval a o) ts
+
+let passed vs = List.for_all (fun v -> v.v_pass) vs

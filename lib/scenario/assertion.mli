@@ -1,0 +1,70 @@
+(** Pass/fail telemetry assertions over an executed scenario.
+
+    An assertion names a {!series} (a per-window signal derived from the
+    {!Scenario.outcome} — latency quantiles, goodput, queue depth, or any
+    sampled registry probe) and a predicate over it, scoped to one phase
+    of the scenario. Evaluation is pure: the same outcome always yields
+    the same verdicts, so verdicts are regression-checkable bytes.
+
+    The three predicate families the experiments need:
+
+    - {!Recovers_within}: after a disturbance phase ends, the series must
+      return to within [factor] x its baseline-phase level within
+      [within] virtual seconds — "p99 recovers to <= 2x baseline within
+      20 s of the crowd subsiding".
+    - {!Bounded}: the series stays at or under a ceiling for every
+      window of the phase — "SSD write amplification <= 4 during churn".
+    - {!Shed_fraction} / {!Moves}: scalar checks on a phase's accounting
+      or on cumulative probe movement — "shed <= 1% while warm",
+      "SVC hits advance during the flash crowd". *)
+
+(** A per-window signal. [Probe name] reads the sampled registry metric
+    [name] (see {!Scenario.run}'s [probes] argument); the others derive
+    from the window rows. *)
+type series =
+  | P50_us  (** sojourn median, microseconds *)
+  | P99_us  (** sojourn p99, microseconds *)
+  | Goodput  (** completions per window *)
+  | Depth  (** queue depth at window end *)
+  | Probe of string
+
+type predicate =
+  | Recovers_within of {
+      baseline : string;  (** phase whose median window level anchors *)
+      factor : float;  (** allowed multiple of the baseline level *)
+      within : float;  (** virtual seconds after the phase under test ends *)
+    }
+  | Bounded of { max : float }  (** every window of the phase <= max *)
+  | Shed_fraction of { max : float }
+      (** phase [shed / offered] <= max (an empty phase passes) *)
+  | Moves of { min_delta : float }
+      (** the series' cumulative value advances by at least [min_delta]
+          across the phase (probe series are cumulative samples; the
+          delta is last-in-phase minus last-before-phase) *)
+
+type t = {
+  label : string;  (** stable identifier, reported in verdicts *)
+  phase : string;  (** the phase the predicate is scoped to *)
+  series : series;
+  predicate : predicate;
+}
+
+type verdict = {
+  v_label : string;
+  v_pass : bool;
+  v_detail : string;  (** human-readable measurement, stable format *)
+}
+
+(** Stable display name of a series: ["p50_us"], ["p99_us"],
+    ["goodput"], ["depth"], ["probe:<name>"]. *)
+val series_name : series -> string
+
+(** Evaluate one assertion. Unknown phase or probe names fail (with the
+    reason in [v_detail]) rather than raise, so a bad assertion cannot
+    mask a regression by crashing the runner. *)
+val eval : t -> Scenario.outcome -> verdict
+
+val eval_all : t list -> Scenario.outcome -> verdict list
+
+(** [passed vs] is [true] when every verdict passed. *)
+val passed : verdict list -> bool

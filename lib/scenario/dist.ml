@@ -1,0 +1,49 @@
+open Prism_sim
+
+type size =
+  | Fixed of int
+  | Uniform of { lo : int; hi : int }
+  | Heavy_tail of { typical : int; alpha : float; cap : int }
+
+let check = function
+  | Fixed n when n >= 1 -> Ok ()
+  | Fixed n -> Error (Printf.sprintf "fixed size %d < 1" n)
+  | Uniform { lo; hi } when 1 <= lo && lo <= hi -> Ok ()
+  | Uniform { lo; hi } -> Error (Printf.sprintf "uniform bounds [%d,%d] invalid" lo hi)
+  | Heavy_tail { typical; alpha; cap }
+    when typical >= 1 && alpha > 0.0 && cap >= typical ->
+      Ok ()
+  | Heavy_tail { typical; alpha; cap } ->
+      Error
+        (Printf.sprintf "heavy-tail(typical=%d,alpha=%g,cap=%d) invalid" typical
+           alpha cap)
+
+let draw t rng =
+  match t with
+  | Fixed n -> n
+  | Uniform { lo; hi } -> lo + Rng.int rng (hi - lo + 1)
+  | Heavy_tail { typical; alpha; cap } ->
+      (* Inverse-CDF Pareto with scale [typical]; 1 - u keeps u = 0 safe. *)
+      let u = 1.0 -. Rng.float rng in
+      let s = float_of_int typical *. (u ** (-1.0 /. alpha)) in
+      max 1 (min cap (int_of_float s))
+
+let mean = function
+  | Fixed n -> float_of_int n
+  | Uniform { lo; hi } -> float_of_int (lo + hi) /. 2.0
+  | Heavy_tail { typical; alpha; cap } ->
+      (* Truncated Pareto mean: scale xm, shape a, upper bound c. *)
+      let xm = float_of_int typical and c = float_of_int cap in
+      if Float.abs (alpha -. 1.0) < 1e-9 then
+        xm *. log (c /. xm) /. (1.0 -. (xm /. c))
+      else
+        let a = alpha in
+        a *. xm /. (a -. 1.0)
+        *. (1.0 -. ((xm /. c) ** (a -. 1.0)))
+        /. (1.0 -. ((xm /. c) ** a))
+
+let describe = function
+  | Fixed n -> Printf.sprintf "fixed(%d)" n
+  | Uniform { lo; hi } -> Printf.sprintf "uniform(%d,%d)" lo hi
+  | Heavy_tail { typical; alpha; cap } ->
+      Printf.sprintf "heavy-tail(%d,a=%.2f,cap=%d)" typical alpha cap

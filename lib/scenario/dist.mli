@@ -1,0 +1,32 @@
+(** Value-size distributions for scenario phases.
+
+    Static experiments fix one value size; production traffic does not.
+    The Facebook memcached study (Atikoglu et al., SIGMETRICS '12) found
+    value sizes dominated by tiny objects with a power-law tail — the mix
+    that stresses a log-structured value store's space accounting very
+    differently from a constant 256 B. Each draw consumes RNG state in a
+    fixed order, so a scenario's size stream replays byte-identically
+    from its seed. *)
+
+type size =
+  | Fixed of int  (** every value is exactly this many bytes *)
+  | Uniform of { lo : int; hi : int }  (** uniform in [lo, hi] *)
+  | Heavy_tail of { typical : int; alpha : float; cap : int }
+      (** Pareto tail: [typical * u^(-1/alpha)], truncated at [cap].
+          Small [alpha] (1.1–1.5) gives the Facebook-style small-value
+          heavy tail: the median stays near [typical] while rare draws
+          approach [cap]. *)
+
+(** Validate parameters; [Error] explains the first violation. *)
+val check : size -> (unit, string) result
+
+(** Draw one value size in bytes (always >= 1). *)
+val draw : size -> Prism_sim.Rng.t -> int
+
+(** Mean size in bytes (exact for [Fixed]/[Uniform], analytic for the
+    truncated Pareto) — used to size NVM/SSD expectations in reports. *)
+val mean : size -> float
+
+(** Stable display string, e.g. ["fixed(256)"],
+    ["heavy-tail(64,a=1.30,cap=16384)"]. *)
+val describe : size -> string

@@ -1,0 +1,37 @@
+(** The named scenario suite the bench runner and CI execute.
+
+    Each entry is a parametric builder: [build ~dur ~records] instantiates
+    the scenario with unit phase length [dur] (virtual seconds — callers
+    scale it so the scenario meets an op budget at the store's calibrated
+    base rate) and the initial record count (which sizes drift speeds and
+    growth expectations). Assertion windows are expressed in terms of
+    [dur], so one spec stresses a fast and a slow store equally.
+
+    Five shapes, per ISSUE 7's acceptance list: a flash crowd, working-set
+    drift, Facebook-style heavy-tail value sizes, key-space growth, and
+    delete-heavy churn. *)
+
+type built = {
+  spec : Scenario.t;
+  probes : string list;  (** registry metrics {!Scenario.run} samples *)
+  checks : Assertion.t list;  (** evaluated against every store *)
+  store_checks : (string * Assertion.t list) list;
+      (** extra assertions keyed by [Kv.name] — e.g. Prism-only probe
+          movement checks that would read 0 on a baseline *)
+}
+
+type entry = {
+  ename : string;
+  esummary : string;  (** one line for [--list] output *)
+  build : dur:float -> records:int -> built;
+}
+
+(** All five entries, in a stable order. *)
+val all : entry list
+
+val find : string -> entry option
+
+val names : string list
+
+(** The generic checks plus the ones keyed to [store]. *)
+val checks_for : built -> store:string -> Assertion.t list

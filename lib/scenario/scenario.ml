@@ -1,0 +1,581 @@
+open Prism_sim
+open Prism_workload
+open Prism_harness
+open Prism_frontend
+
+type mix = {
+  reads : float;
+  updates : float;
+  inserts : float;
+  scans : float;
+  deletes : float;
+  scan_len : int;
+}
+
+let read_mostly =
+  { reads = 0.95; updates = 0.05; inserts = 0.0; scans = 0.0; deletes = 0.0;
+    scan_len = 50 }
+
+type popularity =
+  | Zipf of { theta : float }
+  | Flash of { theta : float; hot_position : float; hot_weight : float }
+  | Drift of { theta : float; keys_per_s : float }
+
+type transition = Step | Ramp of float
+
+type phase = {
+  pname : string;
+  duration : float;
+  rate : float;
+  transition : transition;
+  pmix : mix;
+  popularity : popularity;
+  sizes : Dist.size;
+}
+
+type t = { sname : string; phases : phase list; window : float }
+
+(* ---------------------------------------------------------------- *)
+(* Validation and geometry                                           *)
+(* ---------------------------------------------------------------- *)
+
+let mix_sum m = m.reads +. m.updates +. m.inserts +. m.scans +. m.deletes
+
+let validate t =
+  let ( let* ) = Result.bind in
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let* () = if t.window > 0.0 then Ok () else fail "window %g <= 0" t.window in
+  let* () = if t.phases <> [] then Ok () else fail "no phases" in
+  let check_phase p =
+    let* () =
+      if p.duration > 0.0 && Float.is_finite p.duration then Ok ()
+      else fail "phase %s: duration %g" p.pname p.duration
+    in
+    let* () =
+      if p.rate >= 0.0 && Float.is_finite p.rate then Ok ()
+      else fail "phase %s: rate %g" p.pname p.rate
+    in
+    let* () =
+      match p.transition with
+      | Step -> Ok ()
+      | Ramp r when r >= 0.0 && Float.is_finite r -> Ok ()
+      | Ramp r -> fail "phase %s: ramp %g" p.pname r
+    in
+    let m = p.pmix in
+    let* () =
+      if
+        m.reads >= 0.0 && m.updates >= 0.0 && m.inserts >= 0.0
+        && m.scans >= 0.0 && m.deletes >= 0.0
+        && mix_sum m > 0.0
+      then Ok ()
+      else fail "phase %s: bad mix weights" p.pname
+    in
+    let* () =
+      if m.scan_len >= 1 then Ok ()
+      else fail "phase %s: scan_len %d" p.pname m.scan_len
+    in
+    let* () =
+      match Dist.check p.sizes with
+      | Ok () -> Ok ()
+      | Error e -> fail "phase %s: %s" p.pname e
+    in
+    match p.popularity with
+    | Zipf { theta } when theta >= 0.0 -> Ok ()
+    | Flash { theta; hot_position; hot_weight }
+      when theta >= 0.0
+           && hot_position >= 0.0 && hot_position < 1.0
+           && hot_weight >= 0.0 && hot_weight <= 1.0 ->
+        Ok ()
+    | Drift { theta; keys_per_s } when theta >= 0.0 && keys_per_s >= 0.0 ->
+        Ok ()
+    | _ -> fail "phase %s: bad popularity parameters" p.pname
+  in
+  let* () =
+    List.fold_left
+      (fun acc p ->
+        let* () = acc in
+        check_phase p)
+      (Ok ()) t.phases
+  in
+  let names = List.map (fun p -> p.pname) t.phases in
+  if List.length (List.sort_uniq compare names) = List.length names then Ok ()
+  else fail "duplicate phase names"
+
+let total_duration t =
+  List.fold_left (fun acc p -> acc +. p.duration) 0.0 t.phases
+
+let phase_bounds t =
+  let n = List.length t.phases in
+  let bounds = Array.make n (0.0, 0.0) in
+  let _ =
+    List.fold_left
+      (fun (i, start) p ->
+        bounds.(i) <- (start, start +. p.duration);
+        (i + 1, start +. p.duration))
+      (0, 0.0) t.phases
+  in
+  bounds
+
+(* Rate multiplier at time [at] inside phase [i] whose window starts at
+   [start]; [prev] is the previous phase's multiplier (phase 0 enters
+   flat). *)
+let rate_in phases i ~start ~prev at =
+  let p = phases.(i) in
+  match p.transition with
+  | Step -> p.rate
+  | Ramp r ->
+      let u = at -. start in
+      if r <= 0.0 || u >= r then p.rate
+      else prev +. ((p.rate -. prev) *. (u /. r))
+
+let expected_arrivals t ~base_rate =
+  let phases = Array.of_list t.phases in
+  let total = ref 0.0 in
+  Array.iteri
+    (fun i p ->
+      let prev = if i = 0 then p.rate else phases.(i - 1).rate in
+      let area =
+        match p.transition with
+        | Step -> p.rate *. p.duration
+        | Ramp r ->
+            let rr = Float.min (Float.max r 0.0) p.duration in
+            ((prev +. p.rate) /. 2.0 *. rr) +. (p.rate *. (p.duration -. rr))
+      in
+      total := !total +. area)
+    phases;
+  base_rate *. !total
+
+(* ---------------------------------------------------------------- *)
+(* Trace synthesis                                                   *)
+(* ---------------------------------------------------------------- *)
+
+let synthesize t ~base_rate ~records ~seed =
+  (match validate t with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Scenario.synthesize: " ^ e));
+  if records <= 0 then invalid_arg "Scenario.synthesize: records <= 0";
+  if not (base_rate > 0.0) then
+    invalid_arg "Scenario.synthesize: base_rate <= 0";
+  let phases = Array.of_list t.phases in
+  let bounds = phase_bounds t in
+  let total = total_duration t in
+  let rmax =
+    base_rate *. Array.fold_left (fun acc p -> Float.max acc p.rate) 0.0 phases
+  in
+  if rmax <= 0.0 then [||]
+  else begin
+    let rng = Rng.create seed in
+    (* Two independent streams: arrival stamps and op content. Changing a
+       phase's mix or sizes therefore never moves the arrival times. *)
+    let arr_rng = Rng.split rng in
+    let op_rng = rng in
+    let live = ref records in
+    let versions = ref 0 in
+    let cur = ref (-1) in
+    let zipf = ref None in
+    let enter_phase i =
+      cur := i;
+      let theta =
+        match phases.(i).popularity with
+        | Zipf { theta } | Flash { theta; _ } | Drift { theta; _ } -> theta
+      in
+      zipf := Some (Zipfian.create ~items:!live ~theta op_rng)
+    in
+    let base_ordinal () =
+      let z = Option.get !zipf in
+      if Zipfian.items z < !live then Zipfian.grow z ~items:!live;
+      Zipfian.next_scrambled z
+    in
+    let pick_key ~at =
+      let i = !cur in
+      let start, _ = bounds.(i) in
+      match phases.(i).popularity with
+      | Zipf _ -> Ycsb.key_of (base_ordinal ())
+      | Flash { hot_position; hot_weight; _ } ->
+          if Rng.float op_rng < hot_weight then
+            Ycsb.key_of
+              (min (records - 1) (int_of_float (hot_position *. float_of_int records)))
+          else Ycsb.key_of (base_ordinal ())
+      | Drift { keys_per_s; _ } ->
+          let off = int_of_float (keys_per_s *. (at -. start)) in
+          Ycsb.key_of ((base_ordinal () + off) mod !live)
+    in
+    let fresh_value_fields () =
+      incr versions;
+      !versions
+    in
+    let draw_op ~at =
+      let m = phases.(!cur).pmix in
+      let s = mix_sum m in
+      let u = Rng.float op_rng *. s in
+      if u < m.reads then Trace.Read (pick_key ~at)
+      else if u < m.reads +. m.updates then
+        let key = pick_key ~at in
+        let size = Dist.draw phases.(!cur).sizes op_rng in
+        Trace.Update (key, size, fresh_value_fields ())
+      else if u < m.reads +. m.updates +. m.inserts then begin
+        let key = Ycsb.key_of !live in
+        incr live;
+        let size = Dist.draw phases.(!cur).sizes op_rng in
+        Trace.Insert (key, size, fresh_value_fields ())
+      end
+      else if u < m.reads +. m.updates +. m.inserts +. m.scans then
+        let len = 1 + Rng.int op_rng (2 * m.scan_len) in
+        Trace.Scan (pick_key ~at, len)
+      else Trace.Delete (pick_key ~at)
+    in
+    let acc = ref [] in
+    let n = ref 0 in
+    let clock = ref 0.0 in
+    let finished = ref false in
+    while not !finished do
+      clock := !clock +. Rng.exponential arr_rng ~mean:(1.0 /. rmax);
+      if !clock >= total then finished := true
+      else begin
+        let at = !clock in
+        (* Advance the phase cursor (building each phase's Zipfian). *)
+        if !cur < 0 then enter_phase 0;
+        while !cur < Array.length phases - 1 && at >= snd bounds.(!cur) do
+          enter_phase (!cur + 1)
+        done;
+        let i = !cur in
+        let start, _ = bounds.(i) in
+        let prev = if i = 0 then phases.(0).rate else phases.(i - 1).rate in
+        let r = base_rate *. rate_in phases i ~start ~prev at in
+        (* Lewis–Shedler thinning against the rmax envelope. *)
+        if Rng.float arr_rng *. rmax < r then begin
+          acc := { Trace.at; op = draw_op ~at } :: !acc;
+          incr n
+        end
+      end
+    done;
+    let arr = Array.make !n { Trace.at = 0.0; op = Trace.Read "" } in
+    let rec fill i = function
+      | [] -> ()
+      | x :: rest ->
+          arr.(i) <- x;
+          fill (i - 1) rest
+    in
+    fill (!n - 1) !acc;
+    arr
+  end
+
+(* ---------------------------------------------------------------- *)
+(* Execution                                                         *)
+(* ---------------------------------------------------------------- *)
+
+type window_row = {
+  w_start : float;
+  w_offered : int;
+  w_shed : int;
+  w_completed : int;
+  w_p50_us : float;
+  w_p99_us : float;
+  w_depth : int;
+}
+
+type phase_stat = {
+  ps_name : string;
+  ps_start : float;
+  ps_end : float;
+  ps_offered : int;
+  ps_accepted : int;
+  ps_shed_admission : int;
+  ps_shed_dequeue : int;
+  ps_completed : int;
+  ps_sojourn : Hist.t;
+}
+
+type outcome = {
+  spec : t;
+  store : string;
+  policy : string;
+  base_rate : float;
+  interval : float;
+  windows : window_row array;
+  probes : (string * float array) list;
+  phases : phase_stat array;
+  offered : int;
+  accepted : int;
+  shed_admission : int;
+  shed_dequeue : int;
+  completed : int;
+}
+
+let shed o = o.shed_admission + o.shed_dequeue
+
+(* Sample any registry metric as a float (missing metrics read 0, so one
+   probe list works across stores that register different subsystems). *)
+let sample_metric reg name =
+  match Stats.find reg name with
+  | None -> 0.0
+  | Some (Stats.Counter c) -> float_of_int (Metric.Counter.value c)
+  | Some (Stats.Gauge f) -> (
+      match f () with
+      | Stats.Int n -> float_of_int n
+      | Stats.Float x -> x
+      | Stats.Dist d -> float_of_int d.count)
+  | Some (Stats.Histogram h) -> float_of_int (Hist.count h)
+  | Some (Stats.Timeline tl) -> float_of_int (Metric.Timeline.total tl)
+
+type item = Req of { arrived : float; phase : int; op : Trace.op } | Poison
+
+(* Growable per-window accumulators (windows past the arrival horizon
+   appear while the backlog drains, so the count is not known upfront). *)
+type 'a cells = { mutable a : 'a array; mutable hi : int; blank : int -> 'a }
+
+let cells blank = { a = [||]; hi = -1; blank }
+
+let cell c i =
+  let len = Array.length c.a in
+  if i >= len then begin
+    let nl = max (i + 1) (max 8 (2 * len)) in
+    let na = Array.init nl (fun j -> if j < len then c.a.(j) else c.blank j) in
+    c.a <- na
+  end;
+  if i > c.hi then c.hi <- i;
+  c.a.(i)
+
+let set_cell c i v =
+  ignore (cell c i);
+  c.a.(i) <- v
+
+let empty_outcome t ~store ~policy_desc ~base_rate =
+  let bounds = phase_bounds t in
+  let phases =
+    Array.of_list t.phases
+    |> Array.mapi (fun i p ->
+           let s, e = bounds.(i) in
+           {
+             ps_name = p.pname; ps_start = s; ps_end = e; ps_offered = 0;
+             ps_accepted = 0; ps_shed_admission = 0; ps_shed_dequeue = 0;
+             ps_completed = 0; ps_sojourn = Hist.create ();
+           })
+  in
+  {
+    spec = t; store; policy = policy_desc; base_rate; interval = t.window;
+    windows = [||]; probes = []; phases; offered = 0; accepted = 0;
+    shed_admission = 0; shed_dequeue = 0; completed = 0;
+  }
+
+let run ?(servers = 16) engine kv t ~policy ~base_rate ~probes ~trace =
+  (match validate t with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Scenario.run: " ^ e));
+  if servers <= 0 then invalid_arg "Scenario.run: servers must be positive";
+  let policy_desc = Admission.describe policy in
+  let ops = Array.length trace in
+  if ops = 0 then
+    (* A zero-rate scenario is legal; there is nothing to simulate. *)
+    empty_outcome t ~store:kv.Kv.name ~policy_desc ~base_rate
+  else begin
+    let reg = Engine.stats engine in
+    let bounds = phase_bounds t in
+    let nphases = Array.length bounds in
+    let phase_of =
+      (* Arrival stamps are monotone, but dequeue-side attribution asks
+         for arbitrary times; a linear scan over a handful of phases is
+         fine. *)
+      fun at ->
+        let rec go i =
+          if i >= nphases - 1 then nphases - 1
+          else if at < snd bounds.(i) then i
+          else go (i + 1)
+        in
+        go 0
+    in
+    let interval = t.window in
+    (* The engine clock is not 0 here (loading the dataset consumed
+       virtual time); windows are indexed relative to the scenario's
+       start so they line up with the phase bounds. *)
+    let t0 = Engine.now engine in
+    let widx at = int_of_float ((at -. t0) /. interval) in
+    let w_offered = cells (fun _ -> 0) in
+    let w_shed = cells (fun _ -> 0) in
+    let w_completed = cells (fun _ -> 0) in
+    let w_hist : Hist.t cells =
+      { a = [||]; hi = -1; blank = (fun _ -> Hist.create ()) }
+    in
+    let bump c i = set_cell c i (cell c i + 1) in
+    let p_offered = Array.make nphases 0 in
+    let p_accepted = Array.make nphases 0 in
+    let p_shed_adm = Array.make nphases 0 in
+    let p_shed_deq = Array.make nphases 0 in
+    let p_completed = Array.make nphases 0 in
+    let p_sojourn = Array.init nphases (fun _ -> Hist.create ()) in
+    let c_offered = Stats.counter reg "scenario.offered" in
+    let c_accepted = Stats.counter reg "scenario.accepted" in
+    let c_shed_adm = Stats.counter reg "scenario.shed.admission" in
+    let c_shed_deq = Stats.counter reg "scenario.shed.dequeue" in
+    let c_completed = Stats.counter reg "scenario.completed" in
+    let pol = Admission.create policy in
+    let mb : item Sync.Mailbox.t = Sync.Mailbox.create () in
+    let depth_samples = cells (fun _ -> 0) in
+    let probe_samples =
+      List.map (fun name -> (name, { a = [||]; hi = -1; blank = (fun _ -> 0.0) }))
+        probes
+    in
+    (* Generator: release each arrival at its stamp; run admission. *)
+    Engine.spawn engine (fun () ->
+        let prev = ref 0.0 in
+        Array.iter
+          (fun { Trace.at; op } ->
+            Engine.delay (at -. !prev);
+            prev := at;
+            let now = Engine.now engine in
+            let ph = phase_of at in
+            let k = widx now in
+            Metric.Counter.incr c_offered;
+            p_offered.(ph) <- p_offered.(ph) + 1;
+            bump w_offered k;
+            match Admission.admit pol ~now ~depth:(Sync.Mailbox.length mb) with
+            | Admission.Shed ->
+                Metric.Counter.incr c_shed_adm;
+                p_shed_adm.(ph) <- p_shed_adm.(ph) + 1;
+                bump w_shed k
+            | Admission.Accept ->
+                Metric.Counter.incr c_accepted;
+                p_accepted.(ph) <- p_accepted.(ph) + 1;
+                Sync.Mailbox.send mb (Req { arrived = now; phase = ph; op }))
+          trace;
+        for _ = 1 to servers do
+          Sync.Mailbox.send mb Poison
+        done);
+    let latch = Sync.Latch.create servers in
+    for tid = 0 to servers - 1 do
+      Engine.spawn engine (fun () ->
+          let rec serve () =
+            match Sync.Mailbox.recv mb with
+            | Poison -> Sync.Latch.arrive latch
+            | Req { arrived; phase; op } -> (
+                let now = Engine.now engine in
+                let wait = now -. arrived in
+                match
+                  Admission.on_dequeue pol ~now ~wait
+                    ~depth:(Sync.Mailbox.length mb)
+                with
+                | Admission.Shed ->
+                    Metric.Counter.incr c_shed_deq;
+                    p_shed_deq.(phase) <- p_shed_deq.(phase) + 1;
+                    bump w_shed (widx now);
+                    serve ()
+                | Admission.Accept ->
+                    (match op with
+                    | Trace.Delete k -> ignore (kv.Kv.delete ~tid k)
+                    | op -> (
+                        match Trace.materialize op with
+                        | Ycsb.Read k -> ignore (kv.Kv.get ~tid k)
+                        | Ycsb.Update (k, v) | Ycsb.Insert (k, v) ->
+                            kv.Kv.put ~tid k v
+                        | Ycsb.Scan (k, n) -> ignore (kv.Kv.scan ~tid k n)));
+                    let done_at = Engine.now engine in
+                    let sojourn = done_at -. arrived in
+                    Metric.Counter.incr c_completed;
+                    p_completed.(phase) <- p_completed.(phase) + 1;
+                    Hist.record_span p_sojourn.(phase) sojourn;
+                    let k = widx done_at in
+                    bump w_completed k;
+                    Hist.record_span (cell w_hist k) sojourn;
+                    serve ())
+          in
+          serve ())
+    done;
+    (* Sampler: read queue depth and every probe metric at each window
+       boundary. Reading never schedules events; the loop itself only
+       delays, so it perturbs nothing and is discarded by [Engine.stop]. *)
+    Engine.spawn engine (fun () ->
+        let rec loop k =
+          Engine.delay interval;
+          set_cell depth_samples k (Sync.Mailbox.length mb);
+          List.iter
+            (fun (name, c) -> set_cell c k (sample_metric reg name))
+            probe_samples;
+          loop (k + 1)
+        in
+        loop 0);
+    Engine.spawn engine (fun () ->
+        Sync.Latch.wait latch;
+        kv.Kv.quiesce ();
+        Engine.stop engine);
+    ignore (Engine.run engine);
+    let total_of c = Array.fold_left ( + ) 0 c in
+    let offered = total_of p_offered in
+    let accepted = total_of p_accepted in
+    let shed_admission = total_of p_shed_adm in
+    let shed_dequeue = total_of p_shed_deq in
+    let completed = total_of p_completed in
+    if offered <> ops || accepted <> completed + shed_dequeue then
+      failwith "Scenario.run: requests lost (deadlock or missing poison)";
+    let nwin =
+      1 + max w_offered.hi (max w_shed.hi (max w_completed.hi w_hist.hi))
+    in
+    let nwin = max nwin 0 in
+    let geti c i = if i < Array.length c.a && i <= c.hi then c.a.(i) else 0 in
+    let getf (c : float cells) i =
+      if i < Array.length c.a && i <= c.hi then c.a.(i)
+      else if c.hi >= 0 then c.a.(c.hi) (* hold the last sample *)
+      else 0.0
+    in
+    let windows =
+      Array.init nwin (fun k ->
+          let h =
+            if k < Array.length w_hist.a && k <= w_hist.hi then Some w_hist.a.(k)
+            else None
+          in
+          let q p =
+            match h with
+            | Some h when Hist.count h > 0 -> Hist.us_of_ns (Hist.quantile h p)
+            | _ -> 0.0
+          in
+          let depth =
+            if k <= depth_samples.hi && k < Array.length depth_samples.a then
+              depth_samples.a.(k)
+            else 0
+          in
+          {
+            w_start = float_of_int k *. interval;
+            w_offered = geti w_offered k;
+            w_shed = geti w_shed k;
+            w_completed = geti w_completed k;
+            w_p50_us = q 50.0;
+            w_p99_us = q 99.0;
+            w_depth = depth;
+          })
+    in
+    let probes_out =
+      List.map
+        (fun (name, c) -> (name, Array.init nwin (fun k -> getf c k)))
+        probe_samples
+    in
+    let phases_arr = Array.of_list t.phases in
+    let phase_stats =
+      Array.init nphases (fun i ->
+          let s, e = bounds.(i) in
+          {
+            ps_name = phases_arr.(i).pname;
+            ps_start = s;
+            ps_end = e;
+            ps_offered = p_offered.(i);
+            ps_accepted = p_accepted.(i);
+            ps_shed_admission = p_shed_adm.(i);
+            ps_shed_dequeue = p_shed_deq.(i);
+            ps_completed = p_completed.(i);
+            ps_sojourn = p_sojourn.(i);
+          })
+    in
+    {
+      spec = t;
+      store = kv.Kv.name;
+      policy = policy_desc;
+      base_rate;
+      interval;
+      windows;
+      probes = probes_out;
+      phases = phase_stats;
+      offered;
+      accepted;
+      shed_admission;
+      shed_dequeue;
+      completed;
+    }
+  end

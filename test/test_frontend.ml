@@ -169,6 +169,63 @@ let test_codel_semantics () =
   Alcotest.(check bool) "recovers" true (deq 2e-4 1e-6 = Admission.Accept);
   Alcotest.(check bool) "re-arms" true (deq 2.5e-4 5e-5 = Admission.Accept)
 
+(* Regression for scenario phase transitions: when the queue fully drains
+   (the dequeue that empties it sees depth = 0), CoDel must leave the
+   dropping state and forget its control-law memory, so congestion in a
+   later phase gets a full interval of grace and drop spacing restarted
+   from interval / sqrt(1) — exactly like a fresh policy. *)
+let test_codel_drain_resets () =
+  let target = 1e-5 and interval = 1e-4 in
+  let p = Admission.create (Admission.Codel { target; interval }) in
+  let deq ?(depth = 5) now wait = Admission.on_dequeue p ~now ~wait ~depth in
+  (* Phase 1: congest until the control law tightens (several drops). *)
+  Alcotest.(check bool) "arms" true (deq 0.0 5e-5 = Admission.Accept);
+  Alcotest.(check bool) "first drop" true (deq 1.2e-4 5e-5 = Admission.Shed);
+  Alcotest.(check bool) "second drop" true (deq 2.3e-4 5e-5 = Admission.Shed);
+  Alcotest.(check bool) "third drop" true (deq 3.1e-4 5e-5 = Admission.Shed);
+  (* The queue fully drains across the phase boundary. *)
+  Alcotest.(check bool) "drain accepts" true
+    (deq ~depth:0 4e-4 5e-5 = Admission.Accept);
+  (* Phase 2: congestion re-enters much later. The first over-target
+     dequeue must get a full interval of grace, not an immediate drop
+     from stale [dropping]/[drop_next] state. *)
+  Alcotest.(check bool) "grace after drain" true
+    (deq 1.0e-2 5e-5 = Admission.Accept);
+  Alcotest.(check bool) "still within grace" true
+    (deq (1.0e-2 +. (0.9 *. interval)) 5e-5 = Admission.Accept);
+  Alcotest.(check bool) "drops after full interval" true
+    (deq (1.0e-2 +. (1.2 *. interval)) 5e-5 = Admission.Shed)
+
+(* Stronger form: after a full drain, the reused policy must be
+   behaviorally identical to a freshly created one on any subsequent
+   (now, wait, depth) sequence. *)
+let test_codel_reentry_matches_fresh () =
+  let target = 1e-5 and interval = 1e-4 in
+  let spec = Admission.Codel { target; interval } in
+  let used = Admission.create spec in
+  let deq p now wait depth = Admission.on_dequeue p ~now ~wait ~depth in
+  ignore (deq used 0.0 5e-5 7);
+  ignore (deq used 1.2e-4 5e-5 7);
+  ignore (deq used 2.3e-4 5e-5 6);
+  ignore (deq used 3.1e-4 5e-5 5);
+  ignore (deq used 3.4e-4 4e-5 0);
+  (* ^ drained *)
+  let fresh = Admission.create spec in
+  (* Phase-2 sequence: ramp back into congestion, hold, then recover. *)
+  List.iter
+    (fun i ->
+      let now = 2e-3 +. (float_of_int i *. 3e-5) in
+      let wait =
+        if i < 40 then 5e-5 +. (float_of_int i *. 1e-6) else 2e-6
+      in
+      let depth = if i < 40 then 5 + (i mod 3) else 1 in
+      let a = deq used now wait depth in
+      let b = deq fresh now wait depth in
+      Alcotest.(check bool)
+        (Printf.sprintf "same outcome at step %d" i)
+        true (a = b))
+    (List.init 60 Fun.id)
+
 (* ---- front-end runs: a synthetic fixed-service-time store ---- *)
 
 (* A store where every op costs exactly [service] virtual seconds makes
@@ -326,6 +383,8 @@ let () =
           case "bounded" test_bounded_semantics;
           case "token bucket" test_token_bucket_semantics;
           case "codel" test_codel_semantics;
+          case "codel drain resets" test_codel_drain_resets;
+          case "codel re-entry matches fresh" test_codel_reentry_matches_fresh;
         ] );
       ( "frontend",
         [
