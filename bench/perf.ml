@@ -303,13 +303,17 @@ let scan_number ~key text =
       float_of_string_opt (String.sub text !i (!j - !i))
 
 (* Gate: the bare-engine rates may not drop more than 30% below the
-   committed baseline. Store rates are reported but not gated (they are
-   noisier: simulated-hardware model work dominates). *)
+   committed baseline. Store rates are mostly reported but not gated
+   (they are noisier: simulated-hardware model work dominates) — except
+   store.prism, whose baseline is conservative enough to absorb the
+   noise and which guards the static-placement dispatch on the put/get
+   hot path staying free. *)
 let gated_keys =
   [
     "engine_dispatch_per_sec";
     "engine_process_per_sec";
     "arrival_poisson_per_sec";
+    "store_prism_per_sec";
   ]
 
 let check_baseline path =

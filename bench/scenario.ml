@@ -78,6 +78,7 @@ let store_maker cfg name =
   in
   match String.lowercase_ascii name with
   | "prism" -> (fun e -> fst (Setup.prism e s))
+  | "prism-hotness" -> (fun e -> fst (Setup.prism_hotness e s))
   | "kvell" -> (fun e -> Setup.kvell e s)
   | "matrixkv" -> (fun e -> Setup.matrixkv e s)
   | "rocksdb-nvm" | "rocksdb" -> (fun e -> Setup.rocksdb_nvm e s)
@@ -384,13 +385,21 @@ let () =
     let runs =
       List.concat_map
         (fun ename ->
+          (* Store-restricted scenarios (the placement ones) override the
+             configured store list: they only make sense on their own
+             stores and would read all-zero probes elsewhere. *)
+          let stores =
+            match Library.find ename with
+            | Some { Library.estores = Some l; _ } -> l
+            | _ -> cfg.stores
+          in
           List.map
             (fun store ->
               let r = run_one cfg ~ename ~store in
               pf "%s / %s: %s\n%!" ename r.store_name
                 (if run_pass r then "pass" else "FAIL");
               r)
-            cfg.stores)
+            stores)
         cfg.scenarios
     in
     pf "\n";

@@ -1,0 +1,349 @@
+(* bench/tier_sweep: Zipfian-skew sweep of the value-placement layer.
+
+   For each Zipfian θ, run the same YCSB phase twice — static placement
+   (every value reclaimed to SSD Value Storage, the paper's layout) and
+   hotness placement (CLOCK-tracked hot values promoted to an NVM value
+   tier) — and record throughput, latency quantiles, application WAF and
+   the tier's NVM footprint. The claim under test: at high skew the tier
+   absorbs the hot set, cutting SSD traffic and tail latency, while at
+   low skew it degrades gracefully (bounded NVM footprint, no WAF
+   regression beyond the migration budget).
+
+     dune exec bench/tier_sweep.exe --                    default sweep
+     dune exec bench/tier_sweep.exe -- --quick            CI-sized
+     dune exec bench/tier_sweep.exe -- --thetas 0.8,1.2 --mix a \
+         --json tier.json
+
+   Everything is virtual time, so a given --seed reproduces the sweep —
+   including the JSON — byte-identically. *)
+
+open Prism_sim
+open Prism_harness
+open Prism_workload
+
+let pf fmt = Printf.printf fmt
+
+(* ---------------------------------------------------------------- *)
+(* Configuration                                                     *)
+(* ---------------------------------------------------------------- *)
+
+type config = {
+  thetas : float list;
+  mix : Ycsb.mix;
+  records : int;
+  value_size : int;
+  threads : int;
+  num_ssds : int;
+  ops : int;
+  seed : int64;
+}
+
+let default_config =
+  {
+    thetas = [ 0.6; 0.8; 0.99; 1.1; 1.2; 1.3 ];
+    mix = Ycsb.ycsb_a;
+    records = 10_000;
+    value_size = 256;
+    threads = 8;
+    num_ssds = 2;
+    ops = 30_000;
+    seed = 0xC0FFEEL;
+  }
+
+let quick_config =
+  { default_config with thetas = [ 0.8; 1.2 ]; records = 5_000; ops = 12_000 }
+
+(* ---------------------------------------------------------------- *)
+(* One cell: (θ, placement) -> measurements                          *)
+(* ---------------------------------------------------------------- *)
+
+type cell = {
+  placement : string;
+  kops : float;
+  p50_us : float;
+  p99_us : float;
+  waf : float; (* application-induced SSD writes / put bytes *)
+  ssd_bytes : int; (* all SSD writes, migrations included *)
+  nvm_bytes : int;
+  tier_resident : int; (* tier bytes in use at end of phase *)
+  tier_capacity : int;
+  tier_hits : int;
+  promotions : int;
+  demotions : int;
+  migration_bytes : int;
+}
+
+let run_cell cfg ~theta ~placement =
+  let e = Engine.create () in
+  let s =
+    {
+      Setup.default_scenario with
+      records = cfg.records;
+      value_size = cfg.value_size;
+      threads = cfg.threads;
+      num_ssds = cfg.num_ssds;
+      theta;
+      ops = cfg.ops;
+      seed = cfg.seed;
+    }
+  in
+  let kv, store =
+    match placement with
+    | "static" -> Setup.prism e s
+    | "hotness" -> Setup.prism_hotness e s
+    | other -> failwith ("unknown placement: " ^ other)
+  in
+  let kv = Kv.instrument e kv in
+  ignore
+    (Runner.load e kv ~threads:cfg.threads ~records:cfg.records
+       ~value_size:cfg.value_size ~seed:cfg.seed);
+  let r =
+    Runner.run e kv cfg.mix ~threads:cfg.threads ~records:cfg.records
+      ~ops:cfg.ops ~theta ~value_size:cfg.value_size ~seed:cfg.seed
+  in
+  let reg = Engine.stats e in
+  let gi = Stats.get_int reg in
+  let put_bytes = gi "prism.ops.put_bytes" in
+  let migration_bytes = gi "prism.tier.migration.bytes" in
+  let ssd_bytes = Prism_core.Store.ssd_bytes_written store in
+  let waf =
+    if put_bytes = 0 then 0.0
+    else float_of_int (ssd_bytes - migration_bytes) /. float_of_int put_bytes
+  in
+  let tier_hits, promotions, demotions = Prism_core.Store.tier_stats store in
+  {
+    placement;
+    kops = r.Runner.kops;
+    p50_us = Hist.us_of_ns (Hist.quantile r.Runner.latency 50.0);
+    p99_us = Hist.us_of_ns (Hist.quantile r.Runner.latency 99.0);
+    waf;
+    ssd_bytes;
+    nvm_bytes = Prism_core.Store.nvm_bytes_written store;
+    tier_resident = gi "prism.tier.used_bytes";
+    tier_capacity = gi "prism.tier.capacity";
+    tier_hits;
+    promotions;
+    demotions;
+    migration_bytes;
+  }
+
+type point = { theta : float; static : cell; hotness : cell }
+
+let run_point cfg theta =
+  let static = run_cell cfg ~theta ~placement:"static" in
+  let hotness = run_cell cfg ~theta ~placement:"hotness" in
+  pf "  theta %.2f done (static %.0f kops, hotness %.0f kops)\n%!" theta
+    static.kops hotness.kops;
+  { theta; static; hotness }
+
+(* ---------------------------------------------------------------- *)
+(* Reporting                                                         *)
+(* ---------------------------------------------------------------- *)
+
+let print_table points =
+  Report.table ~title:"Placement sweep: static vs hotness per Zipfian theta"
+    ~columns:
+      [
+        "theta"; "policy"; "kops/s"; "p50 us"; "p99 us"; "WAF";
+        "tier KB"; "hits"; "promo"; "demo";
+      ]
+    (List.concat_map
+       (fun p ->
+         List.map
+           (fun c ->
+             [
+               Printf.sprintf "%.2f" p.theta;
+               c.placement;
+               Printf.sprintf "%.1f" c.kops;
+               Printf.sprintf "%.1f" c.p50_us;
+               Printf.sprintf "%.1f" c.p99_us;
+               Printf.sprintf "%.3f" c.waf;
+               string_of_int (c.tier_resident / 1024);
+               string_of_int c.tier_hits;
+               string_of_int c.promotions;
+               string_of_int c.demotions;
+             ])
+           [ p.static; p.hotness ])
+       points)
+
+(* The claim the sweep exists to prove, checked at the highest skew
+   point with θ >= 1.2: hotness beats static on p99 or application WAF,
+   with the tier footprint bounded by its configured capacity. *)
+let print_verdict points =
+  match
+    List.filter (fun p -> p.theta >= 1.2) points |> List.rev |> function
+    | p :: _ -> Some p
+    | [] -> None
+  with
+  | None -> pf "  tier: no point with theta >= 1.2; verdict skipped\n"
+  | Some p ->
+      let bounded = p.hotness.tier_resident <= p.hotness.tier_capacity in
+      let wins_p99 = p.hotness.p99_us < p.static.p99_us in
+      let wins_waf = p.hotness.waf < p.static.waf in
+      pf
+        "  tier @ theta %.2f: p99 %s (%.1f vs %.1f us), WAF %s (%.3f vs \
+         %.3f), footprint %s (%d KB of %d KB)\n"
+        p.theta
+        (if wins_p99 then "hotness wins" else "static wins")
+        p.hotness.p99_us p.static.p99_us
+        (if wins_waf then "hotness wins" else "static wins")
+        p.hotness.waf p.static.waf
+        (if bounded then "bounded" else "OVERFLOWED")
+        (p.hotness.tier_resident / 1024)
+        (p.hotness.tier_capacity / 1024);
+      if (wins_p99 || wins_waf) && bounded then
+        pf "  tier: verdict PASS (hotness beats static at high skew)\n"
+      else pf "  tier: verdict FAIL\n"
+
+(* ---------------------------------------------------------------- *)
+(* JSON export                                                       *)
+(* ---------------------------------------------------------------- *)
+
+(* Hand-rolled like Stats.to_json: fixed field order, fixed float
+   formats, so the same seed writes byte-identical output. *)
+let json_of_points cfg points =
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let add_cell indent c =
+    add "%s\"%s\": { \"kops\": %.3f, \"p50_us\": %.3f, \"p99_us\": %.3f"
+      indent c.placement c.kops c.p50_us c.p99_us;
+    add ", \"waf\": %.6f" c.waf;
+    add ", \"ssd_bytes_written\": %d" c.ssd_bytes;
+    add ", \"nvm_bytes_written\": %d" c.nvm_bytes;
+    add ", \"tier_resident_bytes\": %d" c.tier_resident;
+    add ", \"tier_capacity_bytes\": %d" c.tier_capacity;
+    add ", \"tier_hits\": %d" c.tier_hits;
+    add ", \"promotions\": %d" c.promotions;
+    add ", \"demotions\": %d" c.demotions;
+    add ", \"migration_bytes\": %d }" c.migration_bytes
+  in
+  add "{\n";
+  add "  \"schema\": \"prism-tier-v1\",\n";
+  add "  \"seed\": %Ld,\n" cfg.seed;
+  add "  \"mix\": %S,\n" cfg.mix.Ycsb.name;
+  add "  \"records\": %d,\n" cfg.records;
+  add "  \"value_size\": %d,\n" cfg.value_size;
+  add "  \"threads\": %d,\n" cfg.threads;
+  add "  \"ssds\": %d,\n" cfg.num_ssds;
+  add "  \"ops\": %d,\n" cfg.ops;
+  add "  \"points\": [";
+  List.iteri
+    (fun i p ->
+      if i > 0 then add ",";
+      add "\n    {\n";
+      add "      \"theta\": %.4f,\n" p.theta;
+      add_cell "      " p.static;
+      add ",\n";
+      add_cell "      " p.hotness;
+      add "\n    }")
+    points;
+  add "\n  ]\n}\n";
+  Buffer.contents b
+
+(* ---------------------------------------------------------------- *)
+(* CLI                                                               *)
+(* ---------------------------------------------------------------- *)
+
+let () =
+  let open Cmdliner in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"CI-sized sweep: 2 thetas, smaller dataset")
+  in
+  let thetas =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "thetas" ] ~doc:"Comma-separated Zipfian coefficients")
+  in
+  let mix =
+    Arg.(
+      value & opt string "a"
+      & info [ "mix" ] ~doc:"Workload mix: a|b|c|d|e|nutanix")
+  in
+  let records =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "records" ] ~doc:"Dataset size in keys")
+  in
+  let ops =
+    Arg.(
+      value & opt (some int) None & info [ "ops" ] ~doc:"Operations per cell")
+  in
+  let threads =
+    Arg.(
+      value & opt (some int) None & info [ "threads" ] ~doc:"Client threads")
+  in
+  let seed =
+    Arg.(value & opt int64 0xC0FFEEL & info [ "seed" ] ~doc:"Sweep seed")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~doc:"Write the sweep as JSON to $(docv)" ~docv:"FILE")
+  in
+  let gc_tune =
+    Arg.(
+      value & flag
+      & info [ "gc-tune" ]
+          ~doc:"Tune the host GC (wall clock only; results unaffected)")
+  in
+  let main quick thetas mix records ops threads seed json gc_tune =
+    if gc_tune then Setup.gc_tune ();
+    let base = if quick then quick_config else default_config in
+    let mix =
+      match
+        List.find_opt
+          (fun m ->
+            String.lowercase_ascii m.Ycsb.name = String.lowercase_ascii mix)
+          (Ycsb.all_ycsb @ [ Ycsb.nutanix ])
+      with
+      | Some m -> m
+      | None -> failwith ("unknown mix: " ^ mix)
+    in
+    let cfg =
+      {
+        base with
+        thetas =
+          (match thetas with
+          | Some s ->
+              String.split_on_char ',' s
+              |> List.map (fun x -> float_of_string (String.trim x))
+          | None -> base.thetas);
+        mix;
+        records = Option.value records ~default:base.records;
+        ops = Option.value ops ~default:base.ops;
+        threads = Option.value threads ~default:base.threads;
+        seed;
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    Report.section
+      (Printf.sprintf
+         "Placement theta-sweep: mix %s, %d keys x %dB, %d threads, %d \
+          ops/cell"
+         cfg.mix.Ycsb.name cfg.records cfg.value_size cfg.threads cfg.ops);
+    let points = List.map (run_point cfg) cfg.thetas in
+    print_table points;
+    print_verdict points;
+    (match json with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (json_of_points cfg points);
+        close_out oc;
+        pf "\nwrote tier sweep to %s\n" path
+    | None -> ());
+    pf "\nSweep done in %.1fs wall.\n" (Unix.gettimeofday () -. t0)
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "prism-tier-sweep"
+         ~doc:"Zipfian-skew sweep of static vs hotness value placement")
+      Term.(
+        const main $ quick $ thetas $ mix $ records $ ops $ threads $ seed
+        $ json $ gc_tune)
+  in
+  exit (Cmd.eval cmd)

@@ -224,9 +224,17 @@ let parse_choices s =
     Printf.eprintf "bad --replay-choices %S (use e.g. 0,2,1)\n" s;
     exit 2
 
-let main store seed schedules dpor crash_every replay replay_choices shrink
-    no_lsm_wal fault scan_weak scan_every delete_every threads ops records
-    keys_per_thread verbose =
+let main store placement seed schedules dpor crash_every replay
+    replay_choices shrink no_lsm_wal fault scan_weak scan_every delete_every
+    threads ops records keys_per_thread verbose =
+  let placement =
+    match String.lowercase_ascii placement with
+    | "static" -> `Static
+    | "hotness" -> `Hotness
+    | other ->
+        Printf.eprintf "unknown --placement %S (use static|hotness)\n" other;
+        exit 2
+  in
   let fault =
     match fault with
     | "none" -> Explore.No_fault
@@ -273,6 +281,7 @@ let main store seed schedules dpor crash_every replay replay_choices shrink
     {
       Explore.default with
       Explore.store = explore_store;
+      placement;
       threads;
       ops_per_thread = ops;
       records;
@@ -287,6 +296,7 @@ let main store seed schedules dpor crash_every replay replay_choices shrink
     {
       Crash_sweep.default with
       Crash_sweep.store;
+      placement;
       threads;
       ops_per_thread = ops;
       keys_per_thread;
@@ -344,6 +354,13 @@ let store =
   Arg.(value & opt string "prism" & info [ "store" ] ~docv:"STORE"
          ~doc:"Store to check: $(b,prism), $(b,kvell), or $(b,lsm) (crash \
                sweep only).")
+
+let placement =
+  Arg.(value & opt string "static" & info [ "placement" ] ~docv:"POLICY"
+         ~doc:"Prism value-placement policy: $(b,static) (all values to \
+               SSD Value Storage) or $(b,hotness) (CLOCK-driven NVM value \
+               tier — schedules and crash points then also cover \
+               promotion copies and demotion write-backs).")
 
 let seed =
   Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"SEED"
@@ -448,7 +465,8 @@ let cmd =
   Cmd.v
     (Cmd.info "prism-check" ~doc)
     Term.(
-      const main $ store $ seed $ schedules $ dpor $ crash_every $ replay
+      const main $ store $ placement $ seed $ schedules $ dpor $ crash_every
+      $ replay
       $ replay_choices $ shrink $ no_lsm_wal $ fault $ scan_weak $ scan_every
       $ delete_every $ threads $ ops $ records $ keys_per_thread $ verbose)
 

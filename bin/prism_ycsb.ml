@@ -182,9 +182,9 @@ let run_scenario make engine kv ~ename ~records ~value_size ~threads ~theta
   Printf.printf "scenario %s on %s: %s\n" ename kv.Kv.name
     (if Assertion.passed verdicts then "pass" else "FAIL")
 
-let run store_name workloads scenario_arg records value_size threads num_ssds
-    theta ops open_loop arrival policy servers trace_out trace_in stats
-    stats_json chrome_trace gc_tune =
+let run store_name placement workloads scenario_arg records value_size
+    threads num_ssds theta ops open_loop arrival policy servers trace_out
+    trace_in stats stats_json chrome_trace gc_tune =
   if gc_tune then Setup.gc_tune ();
   let scenario =
     {
@@ -200,7 +200,11 @@ let run store_name workloads scenario_arg records value_size threads num_ssds
   in
   let make =
     match String.lowercase_ascii store_name with
-    | "prism" -> fun e -> fst (Setup.prism e scenario)
+    | "prism" -> (
+        match String.lowercase_ascii placement with
+        | "static" -> fun e -> fst (Setup.prism e scenario)
+        | "hotness" -> fun e -> fst (Setup.prism_hotness e scenario)
+        | other -> failwith ("unknown placement policy: " ^ other))
     | "kvell" -> fun e -> Setup.kvell e scenario
     | "matrixkv" -> fun e -> Setup.matrixkv e scenario
     | "rocksdb-nvm" | "rocksdb" -> fun e -> Setup.rocksdb_nvm e scenario
@@ -287,6 +291,16 @@ let run store_name workloads scenario_arg records value_size threads num_ssds
   Printf.printf "\nSSD bytes written: %.1f MB; NVM bytes written: %.1f MB\n"
     (float_of_int (dev "ssd") /. 1048576.0)
     (float_of_int (dev "nvm") /. 1048576.0);
+  if String.lowercase_ascii placement = "hotness" then
+    Printf.printf
+      "NVM tier: %d hits, %d promotions, %d demotions, %.1f MB resident, \
+       %.1f MB migration writes\n"
+      (Stats.get_int reg "prism.tier.hits")
+      (Stats.get_int reg "prism.tier.promotions")
+      (Stats.get_int reg "prism.tier.demotions")
+      (float_of_int (Stats.get_int reg "prism.tier.used_bytes") /. 1048576.0)
+      (float_of_int (Stats.get_int reg "prism.tier.migration.bytes")
+      /. 1048576.0);
   if stats then Format.printf "@.%a@." Stats.pp reg;
   (match stats_json with
   | Some path ->
@@ -305,6 +319,16 @@ let () =
     Arg.(
       value & opt string "prism"
       & info [ "store" ] ~doc:"prism | kvell | matrixkv | rocksdb-nvm | slm-db")
+  in
+  let placement =
+    Arg.(
+      value & opt string "static"
+      & info [ "placement" ]
+          ~doc:
+            "Prism value-placement policy: static (all values to SSD Value \
+             Storage, the paper's layout) | hotness (CLOCK-tracked hot \
+             values promoted to an NVM value tier, cold residents demoted \
+             during reclaim). Only meaningful with --store prism")
   in
   let workload =
     Arg.(
@@ -419,7 +443,7 @@ let () =
     Cmd.v
       (Cmd.info "prism-ycsb" ~doc:"Run YCSB workloads on simulated KV stores")
       Term.(
-        const run $ store $ workload $ scenario_arg $ records $ value_size $ threads $ ssds
+        const run $ store $ placement $ workload $ scenario_arg $ records $ value_size $ threads $ ssds
         $ theta $ ops $ open_loop $ arrival $ policy $ servers $ trace_out
         $ trace_in $ stats $ stats_json $ chrome_trace $ gc_tune)
   in

@@ -5,6 +5,7 @@ exception Crash_now
 
 type config = {
   store : [ `Prism | `Kvell | `Lsm ];
+  placement : [ `Static | `Hotness ];
   threads : int;
   keys_per_thread : int;
   ops_per_thread : int;
@@ -18,6 +19,7 @@ type config = {
 let default =
   {
     store = `Prism;
+    placement = `Static;
     threads = 4;
     keys_per_thread = 24;
     ops_per_thread = 60;
@@ -77,6 +79,7 @@ let run_workload cfg (kv : Kv.t) oracle ops =
   Array.iteri
     (fun tid thread_ops ->
       Engine.spawn (Engine.current ()) (fun () ->
+          let hot = Prism_workload.Ycsb.key_of (tid * cfg.keys_per_thread) in
           Array.iter
             (fun (key, what) ->
               Hashtbl.replace oracle.pending key what;
@@ -85,7 +88,16 @@ let run_workload cfg (kv : Kv.t) oracle ops =
                   kv.Kv.put ~tid key (value_of cfg ~key ~version)
               | None -> ignore (kv.Kv.delete ~tid key));
               Hashtbl.replace oracle.acked key what;
-              Hashtbl.remove oracle.pending key)
+              Hashtbl.remove oracle.pending key;
+              (* Promotion fires on Value-Storage reads; a write-only
+                 sweep would leave the NVM tier empty and the promote
+                 copy untested. Each thread re-reads its range's first
+                 key after every write — its CLOCK saturates, the key
+                 migrates into the tier mid-run, and nvm-persist crash
+                 points start landing inside promote copies. Reads
+                 don't move the oracle. *)
+              if cfg.store = `Prism && cfg.placement = `Hotness then
+                ignore (kv.Kv.get ~tid hot))
             thread_ops))
     ops
 
@@ -157,6 +169,16 @@ let prism_tweak cfg c =
      also land between chunk-write completions (the ssd-write boundary
      sweep is vacuous if nothing ever leaves the write buffer). *)
   let c = { c with Prism_core.Config.pwb_size = 8 * 1024 } in
+  (* Hotness placement adds a third durability path: promotions copy a
+     value into the NVM tier with a [write_persist], which the nvm-persist
+     hook counts — so the sweep lands crashes inside promote copies and
+     between a tier write and its HSIT coupling update. A small tier
+     forces demotion write-backs into the sweep too. *)
+  let c =
+    match cfg.placement with
+    | `Static -> c
+    | `Hotness -> Prism_core.Config.hotness ~tier_size:(16 * 1024) c
+  in
   if cfg.fault_skip_hsit_flush then
     { c with Prism_core.Config.fault_skip_hsit_flush = true }
   else c

@@ -19,6 +19,11 @@
 
 type config = {
   store : [ `Prism | `Kvell | `Lsm ];
+  placement : [ `Static | `Hotness ];
+      (** [`Prism] only: [`Hotness] adds a checker-sized NVM value tier,
+          so nvm-persist crash points also land inside promote copies
+          (tier write vs. HSIT coupling update) and ssd-write points
+          inside demotion write-backs *)
   threads : int;
   keys_per_thread : int;  (** disjoint per-thread key ranges *)
   ops_per_thread : int;

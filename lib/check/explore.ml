@@ -11,6 +11,7 @@ type fault =
 
 type config = {
   store : [ `Prism | `Kvell ];
+  placement : [ `Static | `Hotness ];
   threads : int;
   records : int;
   value_size : int;
@@ -26,6 +27,7 @@ type config = {
 let default =
   {
     store = `Prism;
+    placement = `Static;
     threads = 4;
     records = 128;
     value_size = 64;
@@ -110,6 +112,15 @@ let tweak cfg c =
      PWB -> VS -> SVC path (with the scenario-sized 64 KiB PWBs the whole
      dataset stays in the write buffer and the cache never fills). *)
   let c = { c with Prism_core.Config.pwb_size = 16 * 1024 } in
+  (* A checker-sized NVM tier: with the ~8 KiB dataset, 16 KiB holds the
+     hot set but a cold key still has to be demoted to the SSD once the
+     CLOCK sweep catches it, so schedules interleave client operations
+     with both promotion copies and demotion write-backs. *)
+  let c =
+    match cfg.placement with
+    | `Static -> c
+    | `Hotness -> Prism_core.Config.hotness ~tier_size:(16 * 1024) c
+  in
   match cfg.fault with
   | No_fault -> c
   | Skip_svc_invalidate ->

@@ -27,6 +27,10 @@ type fault =
 
 type config = {
   store : [ `Prism | `Kvell ];
+  placement : [ `Static | `Hotness ];
+      (** Prism value-placement policy; [`Hotness] adds a checker-sized
+          NVM value tier so schedules interleave promotions/demotions
+          with client operations ([`Kvell] ignores it) *)
   threads : int;
   records : int;  (** preloaded keys (small, to force contention) *)
   value_size : int;

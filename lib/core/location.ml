@@ -2,6 +2,7 @@ type t =
   | Nowhere
   | In_pwb of { thread : int; voff : int }
   | In_vs of { vs : int; gen : int; chunk : int; slot : int }
+  | In_nvm of { noff : int }
 
 let equal a b =
   match (a, b) with
@@ -9,18 +10,21 @@ let equal a b =
   | In_pwb a, In_pwb b -> a.thread = b.thread && a.voff = b.voff
   | In_vs a, In_vs b ->
       a.vs = b.vs && a.gen = b.gen && a.chunk = b.chunk && a.slot = b.slot
-  | (Nowhere | In_pwb _ | In_vs _), _ -> false
+  | In_nvm a, In_nvm b -> a.noff = b.noff
+  | (Nowhere | In_pwb _ | In_vs _ | In_nvm _), _ -> false
 
 let same_slot a b =
   match (a, b) with
   | In_vs a, In_vs b -> a.vs = b.vs && a.chunk = b.chunk && a.slot = b.slot
-  | (Nowhere | In_pwb _ | In_vs _), _ -> false
+  | In_nvm a, In_nvm b -> a.noff = b.noff
+  | (Nowhere | In_pwb _ | In_vs _ | In_nvm _), _ -> false
 
 let pp fmt = function
   | Nowhere -> Format.fprintf fmt "nowhere"
   | In_pwb { thread; voff } -> Format.fprintf fmt "pwb[%d]@%d" thread voff
   | In_vs { vs; gen; chunk; slot } ->
       Format.fprintf fmt "vs[%d]chunk%d.%d slot%d" vs chunk gen slot
+  | In_nvm { noff } -> Format.fprintf fmt "nvm@%d" noff
 
 let dirty_bit = Int64.shift_left 1L 62
 
@@ -45,6 +49,8 @@ let max_chunk = (1 lsl chunk_bits) - 1
 let max_slot = (1 lsl slot_bits) - 1
 
 let gen_mask = (1 lsl gen_bits) - 1
+
+let max_noff = (1 lsl 44) - 1
 
 let encode loc ~dirty =
   let payload =
@@ -71,9 +77,17 @@ let encode loc ~dirty =
           lor (chunk lsl slot_bits)
           lor (gen lsl (slot_bits + chunk_bits))
           lor (vs lsl (slot_bits + chunk_bits + gen_bits)))
+    | In_nvm { noff } ->
+        if noff < 0 || noff > max_noff then
+          invalid_arg "Location.encode: noff out of range";
+        Int64.of_int noff
   in
   let tag =
-    match loc with Nowhere -> 0L | In_pwb _ -> 1L | In_vs _ -> 2L
+    match loc with
+    | Nowhere -> 0L
+    | In_pwb _ -> 1L
+    | In_vs _ -> 2L
+    | In_nvm _ -> 3L
   in
   let w = Int64.logor (Int64.shift_left tag tag_shift) payload in
   if dirty then Int64.logor w dirty_bit else w
@@ -101,6 +115,9 @@ let decode w =
         let gen = (p lsr (slot_bits + chunk_bits)) land gen_mask in
         let vs = (p lsr (slot_bits + chunk_bits + gen_bits)) land max_vs in
         In_vs { vs; gen; chunk; slot }
+    | 3 ->
+        let noff = Int64.to_int (Int64.logand w (mask 44)) in
+        In_nvm { noff }
     | _ -> invalid_arg "Location.decode: bad tag"
   in
   (loc, dirty)

@@ -3,10 +3,11 @@
 
     Encoding of the primary word:
     - bit 62: dirty bit for the flush-on-read protocol (§5.4);
-    - bits 61..60: tag (0 nowhere, 1 PWB, 2 Value Storage);
+    - bits 61..60: tag (0 nowhere, 1 PWB, 2 Value Storage, 3 NVM tier);
     - PWB payload: thread id (12 bits) and virtual offset (44 bits);
     - VS payload: value-storage id (8 bits), chunk generation (17 bits),
-      chunk (20 bits), slot (15 bits).
+      chunk (20 bits), slot (15 bits);
+    - NVM-tier payload: byte offset into the tier region (44 bits).
 
     The generation is the chunk's reuse counter: it makes a location into
     a tagged pointer, so a stale reference into a recycled chunk can never
@@ -17,11 +18,13 @@ type t =
   | Nowhere
   | In_pwb of { thread : int; voff : int }
   | In_vs of { vs : int; gen : int; chunk : int; slot : int }
+  | In_nvm of { noff : int }
 
 val equal : t -> t -> bool
 
 (** Equality ignoring the generation tag — used during recovery, when
-    generations restart from zero. *)
+    generations restart from zero. NVM-tier locations carry no
+    generation; they compare by offset. *)
 val same_slot : t -> t -> bool
 
 val pp : Format.formatter -> t -> unit

@@ -8,11 +8,33 @@
     every flushed chunk, so blocked appenders resume quickly.
 
     With [async:false] (the §7.6 ablation) the same pass runs inline on
-    the application thread via {!reclaim_now}. *)
+    the application thread via {!reclaim_now}.
+
+    Under hotness placement ([tiering] present) the reclaimer is also the
+    migration engine: during the ring scan, records the policy calls hot
+    are copied into the NVM value tier instead of the SSD batch, and each
+    pass ends with a budget-bounded migration step — a CLOCK decay sweep
+    demoting cold tier residents to Value Storage, then a drain of the
+    policy's promotion queue (read-hot values copied NVM-ward). With
+    [tiering] absent every pass is exactly the pre-placement-layer code
+    path. *)
 
 type t
 
+(** Shared migration state for one store: the NVM value tier, the policy,
+    the promotion/demotion/migration-byte counters, and the per-pass byte
+    budget that bounds added reclaim latency. *)
+type tiering = {
+  tier : Nvm_tier.t;
+  placement : Placement.t;
+  promotions : Prism_sim.Metric.Counter.t;
+  demotions : Prism_sim.Metric.Counter.t;
+  migration_bytes : Prism_sim.Metric.Counter.t;
+  budget : int;
+}
+
 val create :
+  ?tiering:tiering ->
   Prism_sim.Engine.t ->
   pwb:Pwb.t ->
   hsit:Hsit.t ->

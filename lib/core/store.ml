@@ -26,6 +26,7 @@ type op_counters = {
   c_vs_reads : Metric.Counter.t;
   c_misses : Metric.Counter.t;
   c_put_bytes : Metric.Counter.t; (* application value bytes: WAF denominator *)
+  c_tier_hits : Metric.Counter.t; (* reads served from the NVM value tier *)
 }
 
 type read_path = Tc of Tcq.t | Ta of Ta_batcher.t
@@ -86,6 +87,11 @@ type t = {
   reclaimers : Reclaimer.t array;
   svc : Svc.t option;
   rng : Rng.t;
+  placement : Placement.t;
+  tier : Nvm_tier.t option;
+  tier_promotions : Metric.Counter.t;
+  tier_demotions : Metric.Counter.t;
+  tier_migration_bytes : Metric.Counter.t;
   ctr : op_counters;
   (* Last scan result per start key — only written/read under the
      [fault_scan_stale_snapshot] deliberate-bug switch. *)
@@ -112,6 +118,13 @@ let svc t = t.svc
 let value_storages t = t.vss
 
 let nvm t = t.nvm
+
+let nvm_tier t = t.tier
+
+let tier_stats t =
+  ( Metric.Counter.value t.ctr.c_tier_hits,
+    Metric.Counter.value t.tier_promotions,
+    Metric.Counter.value t.tier_demotions )
 
 (* The Key Index is charged as NVM traffic, but its structural mutations
    must be atomic with respect to the cooperative scheduler (PACTree is
@@ -166,7 +179,8 @@ let reorganize_members t members =
               | Location.In_vs { vs = old_vs; gen; chunk; slot } ->
                   Value_storage.set_valid t.vss.(old_vs) ~gen ~chunk ~slot
                     false
-              | Location.Nowhere | Location.In_pwb _ -> ()
+              (* Tier-resident values are never admitted to the SVC. *)
+              | Location.Nowhere | Location.In_pwb _ | Location.In_nvm _ -> ()
             end)
           batch;
         Value_storage.seal vs ~chunk;
@@ -277,10 +291,27 @@ let register_telemetry t =
       Array.fold_left
         (fun acc vs -> acc + Model.bytes_read (Value_storage.device vs))
         0 t.vss);
+  (* WAF counts application-induced SSD writes only: chunk writes that
+     demote tier residents are accounted separately so the figure stays
+     comparable across placement policies. *)
   Stats.gauge_float reg "prism.device.ssd.waf" (fun () ->
       let app = Metric.Counter.value c.c_put_bytes in
       if app = 0 then 0.0
-      else float_of_int (ssd_bytes_written t) /. float_of_int app)
+      else
+        float_of_int
+          (ssd_bytes_written t - Metric.Counter.value t.tier_migration_bytes)
+        /. float_of_int app);
+  Stats.register_counter reg "prism.tier.hits" c.c_tier_hits;
+  Stats.register_counter reg "prism.tier.promotions" t.tier_promotions;
+  Stats.register_counter reg "prism.tier.demotions" t.tier_demotions;
+  Stats.register_counter reg "prism.tier.migration.bytes"
+    t.tier_migration_bytes;
+  match t.tier with
+  | Some tier -> Nvm_tier.register_stats tier reg ~prefix:"prism.tier"
+  | None ->
+      (* The footprint gauge exists under every policy so probes and
+         sweeps can compare static vs hotness uniformly. *)
+      Stats.gauge_int reg "prism.tier.used_bytes" (fun () -> 0)
 
 let create engine cfg =
   Config.validate cfg;
@@ -337,11 +368,36 @@ let create engine cfg =
     Array.init cfg.Config.threads (fun i ->
         Pwb.create nvm ~thread:i ~size:cfg.Config.pwb_size)
   in
+  let placement = Placement.create cfg in
+  let tier =
+    (* Carved after the PWBs so a zero-size tier (the Static default)
+       leaves every NVM offset exactly where it was. *)
+    if cfg.Config.nvm_tier_size > 0 then
+      Some (Nvm_tier.create nvm ~capacity:cfg.Config.nvm_tier_size)
+    else None
+  in
+  let tier_promotions = Metric.Counter.create () in
+  let tier_demotions = Metric.Counter.create () in
+  let tier_migration_bytes = Metric.Counter.create () in
+  let tiering =
+    match tier with
+    | Some tier when Placement.is_hotness placement ->
+        Some
+          {
+            Reclaimer.tier;
+            placement;
+            promotions = tier_promotions;
+            demotions = tier_demotions;
+            migration_bytes = tier_migration_bytes;
+            budget = cfg.Config.tier_migration_budget;
+          }
+    | Some _ | None -> None
+  in
   let reclaimers =
     Array.map
       (fun pwb ->
-        Reclaimer.create engine ~pwb ~hsit ~storages:vss ~rng:(Rng.split rng)
-          ~watermark:cfg.Config.pwb_watermark)
+        Reclaimer.create ?tiering engine ~pwb ~hsit ~storages:vss
+          ~rng:(Rng.split rng) ~watermark:cfg.Config.pwb_watermark)
       pwbs
   in
   if cfg.Config.async_reclaim then Array.iter Reclaimer.start reclaimers;
@@ -372,6 +428,11 @@ let create engine cfg =
       reclaimers;
       svc;
       rng;
+      placement;
+      tier;
+      tier_promotions;
+      tier_demotions;
+      tier_migration_bytes;
       ctr =
         {
           c_puts = Metric.Counter.create ();
@@ -383,6 +444,7 @@ let create engine cfg =
           c_vs_reads = Metric.Counter.create ();
           c_misses = Metric.Counter.create ();
           c_put_bytes = Metric.Counter.create ();
+          c_tier_hits = Metric.Counter.create ();
         };
       scan_stale_cache = None;
     }
@@ -429,6 +491,10 @@ let invalidate_old t old =
   match old with
   | Location.In_vs { vs; gen; chunk; slot } ->
       Value_storage.set_valid t.vss.(vs) ~gen ~chunk ~slot false
+  | Location.In_nvm { noff } -> (
+      match t.tier with
+      | Some tier -> Nvm_tier.free tier ~noff
+      | None -> ())
   | Location.Nowhere | Location.In_pwb _ -> ()
 
 let put t ~tid key value =
@@ -447,6 +513,7 @@ let put t ~tid key value =
           Hsit.write_primary t.hsit id
             (Location.In_pwb { thread = tid; voff });
           invalidate_old t old;
+          Placement.touch t.placement id;
           (match t.svc with
           | Some svc when not t.cfg.Config.fault_skip_svc_invalidate ->
               Svc.invalidate svc ~hsit_id:id
@@ -457,6 +524,7 @@ let put t ~tid key value =
           let voff = Pwb.append t.pwbs.(tid) ~hsit_id:id ~value in
           Hsit.write_primary t.hsit id
             (Location.In_pwb { thread = tid; voff });
+          Placement.touch t.placement id;
           let prev = t.index.ki_insert key id in
           charge_index t;
           (match prev with
@@ -491,6 +559,7 @@ let delete t ~tid key =
             let old = Hsit.read_primary t.hsit id in
             Hsit.write_primary t.hsit id Location.Nowhere;
             invalidate_old t old;
+            Placement.forget t.placement id;
             let hsit = t.hsit in
             Epoch.retire t.epoch (fun () -> Hsit.free hsit id);
             true
@@ -538,6 +607,14 @@ let rec get_resolved ?(attempt = 0) t ~tid ~id ~key =
             (Value_storage.chunk_gen t.vss.(vs) ~chunk)
             slot
             (Value_storage.free_chunks t.vss.(vs))
+      | Location.In_nvm { noff } ->
+          Printf.sprintf "nvm@%d owner=%s" noff
+            (match t.tier with
+            | None -> "no-tier"
+            | Some tier -> (
+                match Nvm_tier.owner tier ~noff with
+                | None -> "free"
+                | Some o -> string_of_int o))
       | Location.Nowhere -> "nowhere"
     in
     failwith
@@ -547,6 +624,7 @@ let rec get_resolved ?(attempt = 0) t ~tid ~id ~key =
   match try_svc t ~id with
   | Some value ->
       Metric.Counter.incr t.ctr.c_svc_hits;
+      Placement.touch t.placement id;
       Some value
   | None -> (
       let loc = Hsit.read_primary t.hsit id in
@@ -561,9 +639,23 @@ let rec get_resolved ?(attempt = 0) t ~tid ~id ~key =
             if bid <> id then retry ()
             else begin
               Metric.Counter.incr t.ctr.c_pwb_hits;
+              Placement.touch t.placement id;
               Some payload
             end
           end
+      | Location.In_nvm { noff } -> (
+          match t.tier with
+          | None -> retry ()
+          | Some tier -> (
+              (* Follow cross-tier relocations exactly like the other
+                 arms: a failed ownership check means a demotion or
+                 overwrite moved the value — re-resolve from the HSIT. *)
+              match Nvm_tier.read tier ~noff ~expect:id with
+              | None -> retry ()
+              | Some value ->
+                  Metric.Counter.incr t.ctr.c_tier_hits;
+                  Placement.touch t.placement id;
+                  Some value))
       | Location.In_vs { vs; gen; chunk; slot } -> (
           match Value_storage.slot_backptr t.vss.(vs) ~gen ~chunk ~slot with
           | Some bp when bp = id -> (
@@ -582,6 +674,9 @@ let rec get_resolved ?(attempt = 0) t ~tid ~id ~key =
                       retry ()
                   | Some value ->
                       ignore (admit_to_svc t ~id ~key ~value ~loc);
+                      (* SSD-served point read: bump heat and, once hot,
+                         queue the value for promotion into the tier. *)
+                      Placement.note_vs_read t.placement id;
                       Some value))
           | Some _ | None -> retry ()))
 
@@ -651,6 +746,20 @@ let scan t ~tid key count =
                       results.(i) <- Some (k, payload)
                     end
                   end
+              | Location.In_nvm { noff } -> (
+                  (* Tier residency is byte-addressable: resolve inline
+                     like the PWB path. Scans do not bump the access
+                     clock — range reads would pollute the hot set the
+                     CLOCK is meant to capture (the SVC owns scan
+                     locality, §4.4). *)
+                  match t.tier with
+                  | None -> ()
+                  | Some tier -> (
+                      match Nvm_tier.read tier ~noff ~expect:id with
+                      | Some value ->
+                          Metric.Counter.incr t.ctr.c_tier_hits;
+                          results.(i) <- Some (k, value)
+                      | None -> ()))
               | Location.In_vs { vs; gen; chunk; slot } -> (
                   match
                     Value_storage.slot_backptr t.vss.(vs) ~gen ~chunk ~slot
@@ -759,6 +868,9 @@ let scan t ~tid key count =
 let crash t =
   Nvm.crash t.nvm;
   (match t.svc with Some svc -> Svc.clear svc | None -> ());
+  (* Tier allocator/offset map and the access clock live in DRAM. *)
+  (match t.tier with Some tier -> Nvm_tier.reset tier | None -> ());
+  Placement.reset t.placement;
   t.scan_stale_cache <- None;
   Epoch.reset t.epoch
 
@@ -775,11 +887,24 @@ let recover t =
      pointers) and validate PWB couplings. *)
   let pwb_ranges = Array.make (Array.length t.pwbs) None in
   let lost = ref [] in
+  let tier_live = ref [] in
   List.iter
     (fun (key, id) ->
       Hsit.recover_entry t.hsit id;
       match Hsit.durable_primary t.hsit id with
       | Location.Nowhere -> lost := (key, id) :: !lost
+      | Location.In_nvm { noff } -> (
+          (* Tier coupling mirrors the PWB rule: the durable record at the
+             pointed-to offset must point back at the entry. The promote
+             copy persists before the pointer, so a durable pointer
+             implies a durable record. *)
+          match t.tier with
+          | None -> lost := (key, id) :: !lost
+          | Some tier -> (
+              match Nvm_tier.read_durable tier ~noff with
+              | Some (bid, _) when bid = id ->
+                  tier_live := (id, noff) :: !tier_live
+              | Some _ | None -> lost := (key, id) :: !lost))
       | Location.In_pwb { thread; voff } -> (
           match Pwb.read_durable t.pwbs.(thread) ~voff with
           | Some (bid, _) when bid = id ->
@@ -808,6 +933,11 @@ let recover t =
           Hashtbl.mem reachable hsit_id
           && Location.same_slot (Hsit.durable_primary t.hsit hsit_id) loc))
     t.vss;
+  (* Rebuild the tier's DRAM allocator and offset map from the surviving
+     couplings. *)
+  (match t.tier with
+  | Some tier -> Nvm_tier.recover tier ~live:!tier_live
+  | None -> ());
   (* Chunk generations restarted at zero: canonicalize the generation bits
      of every recovered In_vs pointer so live lookups validate. *)
   List.iter
@@ -816,7 +946,7 @@ let recover t =
       | Location.In_vs { vs; gen = _; chunk; slot } ->
           Hsit.restore_primary t.hsit id
             (Location.In_vs { vs; gen = 0; chunk; slot })
-      | Location.Nowhere | Location.In_pwb _ -> ())
+      | Location.Nowhere | Location.In_pwb _ | Location.In_nvm _ -> ())
     bindings;
   (* VS entries whose slot vanished (in-flight chunk write lost) are gone. *)
   List.iter
@@ -825,7 +955,7 @@ let recover t =
       | Location.In_vs { vs; gen = _; chunk; slot } ->
           if not (Value_storage.is_valid t.vss.(vs) ~gen:0 ~chunk ~slot) then
             lost := (key, id) :: !lost
-      | Location.Nowhere | Location.In_pwb _ -> ())
+      | Location.Nowhere | Location.In_pwb _ | Location.In_nvm _ -> ())
     bindings;
   (* 4. Drop lost keys from the index so the store is consistent. *)
   List.iter

@@ -87,6 +87,15 @@ val value_storages : t -> Value_storage.t array
 (** The NVM region (for endurance accounting). *)
 val nvm : t -> Prism_media.Nvm.t
 
+(** The NVM-resident value tier, when the config reserves one
+    ([nvm_tier_size > 0]). *)
+val nvm_tier : t -> Nvm_tier.t option
+
+(** [(tier_hits, promotions, demotions)]: reads served from the NVM value
+    tier and values migrated into/out of it by the placement policy. All
+    zero under [`Static]. *)
+val tier_stats : t -> int * int * int
+
 (** [crash t] simulates a power failure: pending simulation events are
     discarded by the caller (see {!Prism_sim.Engine.clear_pending});
     this call reverts NVM to its durable image and empties DRAM state

@@ -132,7 +132,7 @@ let padded len = header_size + Prism_sim.Bits.round_up len header_size
 let chunk_payload_capacity t ~values =
   t.chunk_size - (header_size * (values + 1)) - (header_size * values)
 
-let write_into_chunk t chunk values =
+let write_into_chunk ?io_counter t chunk values =
   (match values with
   | [] -> invalid_arg "Value_storage.write_chunk: empty"
   | _ -> ());
@@ -175,6 +175,9 @@ let write_into_chunk t chunk values =
     min t.chunk_size
       (Prism_sim.Bits.round_up (!pos + header_size) 4096)
   in
+  (match io_counter with
+  | None -> ()
+  | Some c -> Metric.Counter.add c io_size);
   let entry =
     {
       Io_uring.dir = Model.Write;
@@ -187,9 +190,9 @@ let write_into_chunk t chunk values =
   | [ ivar ] -> (chunk, meta.gen, ivar)
   | _ -> assert false
 
-let write_chunk ?(gc = false) t values =
+let write_chunk ?(gc = false) ?io_counter t values =
   let chunk = alloc_chunk t ~reserve:(if gc then 0 else 1) in
-  write_into_chunk t chunk values
+  write_into_chunk ?io_counter t chunk values
 
 let seal t ~chunk =
   let meta = t.chunks.(chunk) in
@@ -289,6 +292,17 @@ let is_valid t ~gen ~chunk ~slot =
   && meta.valid.(slot)
 
 let live_slots t ~chunk = t.chunks.(chunk).live
+
+let iter_valid t f =
+  Array.iteri
+    (fun chunk meta ->
+      if meta.state <> Free then
+        Array.iteri
+          (fun slot s ->
+            if meta.valid.(slot) then
+              f ~gen:meta.gen ~chunk ~slot ~hsit_id:s.backptr)
+          meta.slots)
+    t.chunks
 
 let live_bytes t =
   let total = ref 0 in
@@ -412,7 +426,7 @@ let gc_pass t ~relocate =
       let victim_of (_, _, loc) =
         match loc with
         | Location.In_vs { chunk; _ } -> chunk
-        | Location.Nowhere | Location.In_pwb _ -> -1
+        | Location.Nowhere | Location.In_pwb _ | Location.In_nvm _ -> -1
       in
       let rec shrink victims gathered =
         let batches = plan_batches t (List.rev gathered) in
@@ -459,7 +473,9 @@ let gc_pass t ~relocate =
                     match old_loc with
                     | Location.In_vs { gen; chunk; slot; _ } ->
                         set_valid t ~gen ~chunk ~slot false
-                    | Location.Nowhere | Location.In_pwb _ -> ()
+                    | Location.Nowhere | Location.In_pwb _
+                    | Location.In_nvm _ ->
+                        ()
                   end)
                 batch;
               seal t ~chunk:new_chunk)

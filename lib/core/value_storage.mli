@@ -69,6 +69,7 @@ val chunk_gen : t -> chunk:int -> int
     (§5.2). Values must fit in one chunk. *)
 val write_chunk :
   ?gc:bool ->
+  ?io_counter:Prism_sim.Metric.Counter.t ->
   t ->
   (int * bytes) list ->
   int * int * float Prism_sim.Sync.Ivar.t
@@ -122,6 +123,11 @@ val set_valid : t -> gen:int -> chunk:int -> slot:int -> bool -> unit
 val is_valid : t -> gen:int -> chunk:int -> slot:int -> bool
 
 val live_slots : t -> chunk:int -> int
+
+(** [iter_valid t f] visits every currently valid slot with its backward
+    pointer (residency audits in tests). *)
+val iter_valid :
+  t -> (gen:int -> chunk:int -> slot:int -> hsit_id:int -> unit) -> unit
 
 (** [start_gc t ~relocate] spawns the background GC process. [relocate
     ~hsit_id ~from_ ~to_] must atomically repoint the HSIT entry and

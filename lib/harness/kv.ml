@@ -9,9 +9,12 @@ type t = {
   recover : (unit -> unit) option;
 }
 
-let of_prism store =
+let of_prism ?(name = "Prism") store =
   {
-    name = "Prism";
+    name;
+    (* The store registers its telemetry under the fixed "prism.*"
+       prefix whatever the adapter is called, so variants (e.g.
+       "Prism-hotness") must keep reading device counters there. *)
     stat_prefix = Prism_sim.Stats.sanitize "Prism";
     put = (fun ~tid key value -> Prism_core.Store.put store ~tid key value);
     get = (fun ~tid key -> Prism_core.Store.get store ~tid key);

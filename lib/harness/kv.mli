@@ -27,7 +27,11 @@ type t = {
           §7.6 recovery experiment *)
 }
 
-val of_prism : Prism_core.Store.t -> t
+(** [name] defaults to ["Prism"]; variants (e.g. the hotness-placement
+    store) pass their own so scenario checks stay keyed apart. The
+    [stat_prefix] stays ["prism"] for every variant — that is where the
+    store registers — so two Prism variants must not share one engine. *)
+val of_prism : ?name:string -> Prism_core.Store.t -> t
 
 val of_lsm : Prism_baselines.Lsm_tree.t -> t
 

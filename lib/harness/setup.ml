@@ -39,7 +39,7 @@ let nvm_array_spec =
     write_bw = Spec.optane_dcpmm.Spec.write_bw *. 6.0;
   }
 
-let prism ?(tweak = Fun.id) engine s =
+let prism ?(tweak = Fun.id) ?(name = "Prism") engine s =
   let d = dataset_bytes s in
   let chunk = 64 * kib in
   let pwb_size =
@@ -72,7 +72,15 @@ let prism ?(tweak = Fun.id) engine s =
   in
   let cfg = tweak cfg in
   let store = Prism_core.Store.create engine cfg in
-  (Kv.of_prism store, store)
+  (Kv.of_prism ~name store, store)
+
+(* Same Table 1 proportions, hotness placement: the NVM budget grows by
+   the tier carve (Config.hotness), everything else identical — so
+   static-vs-hotness comparisons isolate the placement policy. *)
+let prism_hotness ?(tweak = Fun.id) engine s =
+  prism
+    ~tweak:(fun cfg -> tweak (Prism_core.Config.hotness cfg))
+    ~name:"Prism-hotness" engine s
 
 let ssd_specs s = List.init s.num_ssds (fun _ -> Spec.samsung_980_pro)
 

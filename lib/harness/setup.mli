@@ -34,6 +34,18 @@ val nvm_array_spec : Prism_device.Spec.t
     the underlying store for component-level statistics. *)
 val prism :
   ?tweak:(Prism_core.Config.t -> Prism_core.Config.t) ->
+  ?name:string ->
+  Prism_sim.Engine.t ->
+  scenario ->
+  Kv.t * Prism_core.Store.t
+
+(** [prism_hotness engine s] is {!prism} under hotness placement
+    ({!Prism_core.Config.hotness}): an NVM value tier is carved and the
+    CLOCK policy migrates values across it. The Kv is named
+    ["Prism-hotness"] so its metrics don't collide with the static store
+    in the same engine. [tweak] runs after the hotness rewrite. *)
+val prism_hotness :
+  ?tweak:(Prism_core.Config.t -> Prism_core.Config.t) ->
   Prism_sim.Engine.t ->
   scenario ->
   Kv.t * Prism_core.Store.t

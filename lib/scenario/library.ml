@@ -8,6 +8,7 @@ type built = {
 type entry = {
   ename : string;
   esummary : string;
+  estores : string list option;
   build : dur:float -> records:int -> built;
 }
 
@@ -205,6 +206,96 @@ let delete_churn ~dur ~records:_ =
       ];
   }
 
+(* The two placement scenarios run a write-heavy mix: tier migration
+   happens during PWB reclamation, so updates are what give the CLOCK
+   policy chances to move values. *)
+
+let hot_set_inversion ~dur ~records:_ =
+  let writey = mix ~reads:0.7 ~updates:0.3 () in
+  let hot position =
+    Scenario.Flash { theta = 0.99; hot_position = position; hot_weight = 0.6 }
+  in
+  let spec =
+    {
+      Scenario.sname = "hot-set-inversion";
+      window = dur /. 4.0;
+      phases =
+        [
+          phase "warm" ~duration:(2.0 *. dur) ~rate:0.6 ~pmix:writey
+            ~popularity:(hot 0.15);
+          phase "invert" ~duration:(2.0 *. dur) ~rate:0.6 ~pmix:writey
+            ~popularity:(hot 0.85);
+          phase "settle" ~duration:dur ~rate:0.5 ~pmix:writey
+            ~popularity:(hot 0.85);
+        ];
+    }
+  in
+  {
+    spec;
+    probes = [ "prism.tier.promotions"; "prism.tier.demotions" ];
+    checks =
+      [
+        recovers "invert-p99-recovers" ~baseline:"warm" ~phase:"invert" ~dur;
+        shed_at_most "warm-no-shed" ~phase:"warm" 0.02;
+      ];
+    store_checks =
+      [
+        ( "Prism-hotness",
+          [
+            check "new-hot-set-promotes" ~phase:"invert"
+              ~series:(Assertion.Probe "prism.tier.promotions")
+              (Assertion.Moves { min_delta = 1.0 });
+            check "old-hot-set-demotes" ~phase:"invert"
+              ~series:(Assertion.Probe "prism.tier.demotions")
+              (Assertion.Moves { min_delta = 1.0 });
+          ] );
+      ];
+  }
+
+let diurnal_rotation ~dur ~records:_ =
+  let writey = mix ~reads:0.7 ~updates:0.3 () in
+  let hot position =
+    Scenario.Flash { theta = 0.99; hot_position = position; hot_weight = 0.6 }
+  in
+  let spec =
+    {
+      Scenario.sname = "diurnal-rotation";
+      window = dur /. 4.0;
+      phases =
+        [
+          phase "day" ~duration:(2.0 *. dur) ~rate:0.7 ~pmix:writey
+            ~popularity:(hot 0.2);
+          phase "night" ~duration:dur ~rate:0.35 ~pmix:writey
+            ~popularity:(hot 0.7)
+            ~transition:(Scenario.Ramp (0.2 *. dur));
+          phase "day2" ~duration:(2.0 *. dur) ~rate:0.7 ~pmix:writey
+            ~popularity:(hot 0.2)
+            ~transition:(Scenario.Ramp (0.2 *. dur));
+        ];
+    }
+  in
+  {
+    spec;
+    probes = [ "prism.tier.promotions"; "prism.tier.demotions" ];
+    checks =
+      [
+        recovers "day2-p99-recovers" ~baseline:"day" ~phase:"night" ~dur;
+        shed_at_most "day-shed-bounded" ~phase:"day" 0.05;
+      ];
+    store_checks =
+      [
+        ( "Prism-hotness",
+          [
+            check "night-set-promotes" ~phase:"night"
+              ~series:(Assertion.Probe "prism.tier.promotions")
+              (Assertion.Moves { min_delta = 1.0 });
+            check "rotation-demotes" ~phase:"day2"
+              ~series:(Assertion.Probe "prism.tier.demotions")
+              (Assertion.Moves { min_delta = 1.0 });
+          ] );
+      ];
+  }
+
 (* ---------------------------------------------------------------- *)
 
 let all =
@@ -212,27 +303,44 @@ let all =
     {
       ename = "flash-crowd";
       esummary = "a cold key turns hot mid-run, then the crowd subsides";
+      estores = None;
       build = (fun ~dur ~records -> flash_crowd ~dur ~records);
     };
     {
       ename = "drift";
       esummary = "the working set slides through half the key space";
+      estores = None;
       build = (fun ~dur ~records -> drift ~dur ~records);
     };
     {
       ename = "heavy-tail";
       esummary = "Facebook-style Pareto value sizes replace fixed 256 B";
+      estores = None;
       build = (fun ~dur ~records -> heavy_tail ~dur ~records);
     };
     {
       ename = "growth";
       esummary = "insert-heavy phase extends the key space by ~a third";
+      estores = None;
       build = (fun ~dur ~records -> growth ~dur ~records);
     };
     {
       ename = "delete-churn";
       esummary = "deletes and inserts churn the live set under load";
+      estores = None;
       build = (fun ~dur ~records -> delete_churn ~dur ~records);
+    };
+    {
+      ename = "hot-set-inversion";
+      esummary = "the hot set flips to the far end of the key space";
+      estores = Some [ "prism-hotness" ];
+      build = (fun ~dur ~records -> hot_set_inversion ~dur ~records);
+    };
+    {
+      ename = "diurnal-rotation";
+      esummary = "day/night working sets rotate between two key regions";
+      estores = Some [ "prism-hotness" ];
+      build = (fun ~dur ~records -> diurnal_rotation ~dur ~records);
     };
   ]
 

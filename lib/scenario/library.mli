@@ -7,9 +7,12 @@
     growth expectations). Assertion windows are expressed in terms of
     [dur], so one spec stresses a fast and a slow store equally.
 
-    Five shapes, per ISSUE 7's acceptance list: a flash crowd, working-set
-    drift, Facebook-style heavy-tail value sizes, key-space growth, and
-    delete-heavy churn. *)
+    Five generic shapes, per ISSUE 7's acceptance list: a flash crowd,
+    working-set drift, Facebook-style heavy-tail value sizes, key-space
+    growth, and delete-heavy churn. Two placement shapes (ISSUE 8) that
+    only run on the hotness-placement Prism store: a hot-set inversion
+    and a diurnal rotation, both asserting that tier migration counters
+    move and that p99 recovers after the shift. *)
 
 type built = {
   spec : Scenario.t;
@@ -23,10 +26,14 @@ type built = {
 type entry = {
   ename : string;
   esummary : string;  (** one line for [--list] output *)
+  estores : string list option;
+      (** when set, the suite runner only pairs this scenario with these
+          store arguments (e.g. the placement scenarios with
+          ["prism-hotness"]); [None] means every configured store *)
   build : dur:float -> records:int -> built;
 }
 
-(** All five entries, in a stable order. *)
+(** All entries, in a stable order. *)
 val all : entry list
 
 val find : string -> entry option

@@ -970,6 +970,100 @@ let test_sweep_lsm_no_wal () =
        (fun v -> v.Crash_sweep.boundary = "sstable-publish")
        report.Crash_sweep.violations)
 
+(* ---- hotness placement under the checkers ---- *)
+
+(* Sized so reclamation actually runs mid-workload: promotions need
+   Value-Storage reads, which need values to have left the PWBs first.
+   At this scale the hotness run's tie-choice stream diverges from
+   static's under the same seed (migration work interleaves with the
+   clients); a smaller workload leaves the tier untouched and every
+   placement check vacuous. *)
+let hotness_explore_cfg =
+  {
+    Explore.default with
+    Explore.placement = `Hotness;
+    threads = 3;
+    records = 64;
+    ops_per_thread = 120;
+    seed = 42L;
+  }
+
+let test_explore_hotness_clean () =
+  let report = Explore.run ~schedules:3 hotness_explore_cfg in
+  (match report.Explore.failures with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.failf "hotness schedule violation: %s" f.Explore.violation);
+  (* Guard against vacuity: migration must actually change the tie-choice
+     stream relative to static placement under the same seeds. *)
+  let static_report =
+    Explore.run ~schedules:3
+      { hotness_explore_cfg with Explore.placement = `Static }
+  in
+  let choices r =
+    List.map
+      (fun (s : Explore.schedule_stats) -> s.Explore.choices)
+      r.Explore.schedules
+  in
+  Alcotest.(check bool) "migration interleaves with client schedules" true
+    (choices report <> choices static_report)
+
+let test_dpor_hotness_clean () =
+  let rep = Explore.run_dpor ~max_classes:4 hotness_explore_cfg in
+  Alcotest.(check bool) "explored multiple classes" true
+    (rep.Explore.classes >= 2);
+  match rep.Explore.dpor_failures with
+  | [] -> ()
+  | f :: _ -> Alcotest.failf "hotness DPOR violation: %s" f.Explore.violation
+
+(* Crash at EVERY durability boundary ([crash_every = 1]) — in
+   particular inside every promote copy (the tier write is a counted
+   nvm-persist) and between each copy and its HSIT coupling update. The
+   value lives in Value Storage until the coupling flips, so no
+   acknowledged write may be lost whichever side of the copy the power
+   cut lands on. *)
+let hotness_sweep_cfg =
+  {
+    Crash_sweep.default with
+    Crash_sweep.placement = `Hotness;
+    threads = 2;
+    keys_per_thread = 12;
+    ops_per_thread = 120;
+    crash_every = 1;
+    seed = 9L;
+  }
+
+let test_sweep_hotness () =
+  let hot = Crash_sweep.run hotness_sweep_cfg in
+  Alcotest.(check bool) "injected many crash points" true
+    (hot.Crash_sweep.crash_points > 100);
+  (match hot.Crash_sweep.violations with
+  | [] -> ()
+  | v :: _ ->
+      Alcotest.failf "hotness recovery violation at %s boundary %d: %s"
+        v.Crash_sweep.boundary v.Crash_sweep.crash_point v.Crash_sweep.detail);
+  (* Clean-run boundary counts prove the sweep covered promote copies:
+     they are extra nvm-persists the static run doesn't perform. *)
+  let static =
+    Crash_sweep.run
+      { hotness_sweep_cfg with Crash_sweep.placement = `Static;
+        crash_every = 100_000 }
+  in
+  let nvm r = List.assoc "nvm-persist" r.Crash_sweep.boundaries in
+  Alcotest.(check bool) "promote copies add persist boundaries" true
+    (nvm hot > nvm static)
+
+let test_sweep_hotness_catches_lost_writes () =
+  (* The sweep is not vacuous under hotness: the deliberate persist-
+     protocol bug still reads as lost acknowledged writes. *)
+  let report =
+    Crash_sweep.run
+      { hotness_sweep_cfg with Crash_sweep.fault_skip_hsit_flush = true;
+        crash_every = 10 }
+  in
+  Alcotest.(check bool) "disabled HSIT flush loses acknowledged writes" true
+    (report.Crash_sweep.violations <> [])
+
 let () =
   Alcotest.run "check"
     [
@@ -1043,5 +1137,12 @@ let () =
           case "hsit fault caught" test_sweep_catches_lost_writes;
           case "lsm wal recovers every point" test_sweep_lsm;
           case "lsm without wal loses writes" test_sweep_lsm_no_wal;
+        ] );
+      ( "placement",
+        [
+          case "hotness schedules linearizable" test_explore_hotness_clean;
+          case "hotness dpor classes linearizable" test_dpor_hotness_clean;
+          case "hotness recovers every boundary" test_sweep_hotness;
+          case "hotness hsit fault caught" test_sweep_hotness_catches_lost_writes;
         ] );
     ]
