@@ -112,8 +112,12 @@ let bench_engine_process ~ops ~reps =
 (* Component benchmarks                                              *)
 (* ---------------------------------------------------------------- *)
 
+(* The clock-cell dispatch protocol the engine actually runs: due-check
+   into the caller's clock array, pop, reschedule relative to the clock —
+   no boxed float crosses the module boundary per event. *)
 let bench_heap ~ops ~reps =
   let h = Heap.create () in
+  let clock = [| 0.0; infinity |] in
   let noop () = () in
   for i = 0 to 63 do
     Heap.push h ~time:(float_of_int ((i mod 7) + 1) *. 1e-6) ~seq:i noop
@@ -121,10 +125,10 @@ let bench_heap ~ops ~reps =
   let seq = ref 64 in
   let run () =
     for _ = 1 to ops do
-      let time = Heap.min_time h in
+      ignore (Heap.advance_if_due h clock : bool);
       let v = Heap.pop_unsafe h in
       let period = float_of_int ((!seq mod 7) + 1) *. 1e-6 in
-      Heap.push h ~time:(time +. period) ~seq:!seq v;
+      Heap.push_after h ~clock ~after:period ~seq:!seq ~aux:0 v;
       incr seq
     done
   in
@@ -191,6 +195,93 @@ let bench_arrival ~ops ~reps =
         fun rng ->
           Arrival.diurnal ~base_rate:5e5 ~peak_rate:1.5e6 ~period:1e-2 rng );
     ]
+
+(* Kv.instrument middleware overhead: a null store wrapped by the
+   middleware, driven from inside an engine process so Engine.now
+   resolves. Measures the spans-disabled fast path — the minor-words
+   column is the number that matters; it gates the allocation work on
+   this layer (the slow path behind Span.enabled is not what runs in
+   sweeps). *)
+let bench_instrument ~ops ~reps =
+  let value = Bytes.create 64 in
+  let null =
+    {
+      Kv.name = "Null";
+      stat_prefix = "null";
+      put = (fun ~tid:_ _ _ -> ());
+      get = (fun ~tid:_ _ -> None);
+      delete = (fun ~tid:_ _ -> false);
+      scan = (fun ~tid:_ _ _ -> []);
+      quiesce = (fun () -> ());
+      recover = None;
+    }
+  in
+  let run () =
+    let e = Engine.create () in
+    let kv = Kv.instrument e null in
+    Engine.spawn e (fun () ->
+        for _ = 1 to ops / 2 do
+          kv.Kv.put ~tid:0 "k" value;
+          ignore (kv.Kv.get ~tid:0 "k")
+        done);
+    ignore (Engine.run e)
+  in
+  report "kv.instrument" (measure ~reps ~ops run)
+
+(* ---------------------------------------------------------------- *)
+(* Fleet benchmarks                                                  *)
+(* ---------------------------------------------------------------- *)
+
+(* fleet.dpor rates whole checker simulations per wall second through
+   Explore.run_dpor (runs, not classes: pruned runs cost the same).
+   fleet.speedup abuses the sample shape: its "rate" is the wall-clock
+   ratio serial/2-domain on a fleet of independent schedule runs. On a
+   single-core host the domains time-share and the ratio sits near 1.0;
+   on multicore it approaches 2. The committed baseline floor is set
+   for the single-core case, so only a real fleet regression — lock
+   contention, lost work, serialization — trips the gate anywhere. *)
+let bench_fleet ~quick ~reps =
+  let open Prism_check in
+  let cfg =
+    {
+      Explore.default with
+      Explore.threads = 3;
+      ops_per_thread = (if quick then 12 else 16);
+      records = 48;
+    }
+  in
+  let max_classes = if quick then 12 else 24 in
+  let warm = Explore.run_dpor ~max_classes cfg in
+  let runs = warm.Explore.runs in
+  report "fleet.dpor"
+    (measure ~reps ~ops:runs (fun () ->
+         ignore (Explore.run_dpor ~max_classes cfg)));
+  (* Larger per-schedule runs for the speedup ratio: short jobs (~3ms)
+     make cross-domain minor-GC barriers dominate on a time-shared
+     single core, while at sweep-sized jobs the two regimes reach
+     parity. *)
+  let speedup_cfg =
+    {
+      cfg with
+      Explore.ops_per_thread = (if quick then 48 else 96);
+      records = 96;
+    }
+  in
+  let schedules = if quick then 8 else 12 in
+  let time jobs =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (Explore.run ~jobs ~schedules speedup_cfg);
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let t1 = time 1 in
+  let t2 = time 2 in
+  report "fleet.speedup"
+    { rate = t1 /. t2; ns_per_op = t2 *. 1e9; minor_words_per_op = 0.0 }
 
 (* ---------------------------------------------------------------- *)
 (* Store benchmarks (through the Kv layer)                           *)
@@ -314,6 +405,8 @@ let gated_keys =
     "engine_process_per_sec";
     "arrival_poisson_per_sec";
     "store_prism_per_sec";
+    "fleet_dpor_per_sec";
+    "fleet_speedup_per_sec";
   ]
 
 let check_baseline path =
@@ -396,6 +489,8 @@ let () =
     bench_rng ~ops:comp_ops ~reps;
     bench_zipfian ~ops:comp_ops ~reps;
     bench_arrival ~ops:comp_ops ~reps;
+    bench_instrument ~ops:comp_ops ~reps;
+    bench_fleet ~quick ~reps;
     bench_stores ~quick ~reps;
     write_json out ~quick;
     match baseline with None -> () | Some path -> check_baseline path

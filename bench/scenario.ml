@@ -352,8 +352,16 @@ let () =
       & info [ "gc-tune" ]
           ~doc:"Tune the host GC (wall clock only; results unaffected)")
   in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains running (scenario, store) pairs. Output is \
+             byte-identical for any $(docv); 0 means one per core.")
+  in
   let main quick list_flag stores scenarios policy records servers ops seed
-      json strict gc_tune =
+      json strict gc_tune jobs =
     if list_flag then begin
       List.iter
         (fun e -> pf "%-14s %s\n" e.Library.ename e.Library.esummary)
@@ -382,25 +390,42 @@ let () =
          "Scenario suite: %d keys x %dB, %d servers, ~%d arrivals per run, \
           policy %s"
          cfg.records cfg.value_size cfg.servers cfg.ops cfg.policy);
+    (* Each (scenario, store) pair is an independent fleet job — it
+       calibrates, synthesizes and replays from the suite seed alone.
+       Merging in pair order keeps stdout and JSON byte-identical for
+       any --jobs. *)
+    let pairs =
+      Array.of_list
+        (List.concat_map
+           (fun ename ->
+             (* Store-restricted scenarios (the placement ones) override
+                the configured store list: they only make sense on their
+                own stores and would read all-zero probes elsewhere. *)
+             let stores =
+               match Library.find ename with
+               | Some { Library.estores = Some l; _ } -> l
+               | _ -> cfg.stores
+             in
+             List.map (fun store -> (ename, store)) stores)
+           cfg.scenarios)
+    in
+    let jobs =
+      if jobs = 0 then Prism_fleet.Fleet.default_jobs () else max 1 jobs
+    in
+    let results =
+      Prism_fleet.Fleet.with_pool ~jobs (fun pool ->
+          Prism_fleet.Fleet.map pool (Array.length pairs) (fun i ->
+              let ename, store = pairs.(i) in
+              run_one cfg ~ename ~store))
+    in
     let runs =
-      List.concat_map
-        (fun ename ->
-          (* Store-restricted scenarios (the placement ones) override the
-             configured store list: they only make sense on their own
-             stores and would read all-zero probes elsewhere. *)
-          let stores =
-            match Library.find ename with
-            | Some { Library.estores = Some l; _ } -> l
-            | _ -> cfg.stores
-          in
-          List.map
-            (fun store ->
-              let r = run_one cfg ~ename ~store in
-              pf "%s / %s: %s\n%!" ename r.store_name
-                (if run_pass r then "pass" else "FAIL");
-              r)
-            stores)
-        cfg.scenarios
+      Array.to_list
+        (Array.map
+           (fun r ->
+             pf "%s / %s: %s\n%!" r.scenario_name r.store_name
+               (if run_pass r then "pass" else "FAIL");
+             r)
+           results)
     in
     pf "\n";
     List.iter print_run runs;
@@ -423,6 +448,6 @@ let () =
       (Cmd.info "scenario" ~doc:"Time-varying scenario suite with verdicts")
       Term.(
         const main $ quick $ list_flag $ stores $ scenarios $ policy $ records
-        $ servers $ ops $ seed $ json $ strict $ gc_tune)
+        $ servers $ ops $ seed $ json $ strict $ gc_tune $ jobs)
   in
   exit (Cmd.eval cmd)

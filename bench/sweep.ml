@@ -167,31 +167,48 @@ let run_point cfg make ~policy ~policy_arg ~capacity ~multiplier =
   in
   { multiplier; result }
 
-let sweep_store cfg name =
+let sweep_store cfg pool name =
   let store_name, make = store_maker cfg name in
   let capacity, service_p50 = calibrate cfg make in
   pf "%s: closed-loop capacity %.0f ops/s, service p50 %.1f us\n%!" store_name
     capacity (service_p50 *. 1e6);
-  let curves =
+  let policies =
     List.map
       (fun policy_arg ->
-        let policy =
-          match Admission.of_string ~capacity ~servers:cfg.servers policy_arg with
-          | Ok p -> p
-          | Error e -> failwith e
-        in
+        match Admission.of_string ~capacity ~servers:cfg.servers policy_arg with
+        | Ok p -> (policy_arg, p)
+        | Error e -> failwith e)
+      cfg.policies
+  in
+  (* Every (policy, point) cell builds its own engine and store from the
+     sweep seed, so cells are independent fleet jobs; merging in grid
+     order keeps the tables, progress lines and JSON byte-identical for
+     any --jobs. *)
+  let npts = List.length cfg.points in
+  let cells =
+    Array.of_list
+      (List.concat_map
+         (fun (policy_arg, policy) ->
+           List.map (fun m -> (policy_arg, policy, m)) cfg.points)
+         policies)
+  in
+  let results =
+    Prism_fleet.Fleet.map pool (Array.length cells) (fun i ->
+        let policy_arg, policy, multiplier = cells.(i) in
+        run_point cfg make ~policy ~policy_arg ~capacity ~multiplier)
+  in
+  let curves =
+    List.mapi
+      (fun pi (policy_arg, policy) ->
         let points =
-          List.map
-            (fun multiplier ->
-              let p =
-                run_point cfg make ~policy ~policy_arg ~capacity ~multiplier
-              in
-              pf "  %-22s x%.2f done\n%!" (Admission.describe policy) multiplier;
+          List.init npts (fun k ->
+              let p = results.((pi * npts) + k) in
+              pf "  %-22s x%.2f done\n%!" (Admission.describe policy)
+                p.multiplier;
               p)
-            cfg.points
         in
         { policy_arg; policy; points })
-      cfg.policies
+      policies
   in
   { store_name; capacity; service_p50; curves }
 
@@ -387,8 +404,16 @@ let () =
       & info [ "gc-tune" ]
           ~doc:"Tune the host GC (wall clock only; results unaffected)")
   in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains running sweep cells. Output is byte-identical \
+             for any $(docv); 0 means one per core.")
+  in
   let main quick stores policies points arrival mix records servers ops seed
-      json gc_tune =
+      json gc_tune jobs =
     if gc_tune then Setup.gc_tune ();
     let base = if quick then quick_config else default_config in
     let split s = String.split_on_char ',' s |> List.map String.trim in
@@ -425,7 +450,13 @@ let () =
           servers, %d arrivals/point"
          cfg.arrival cfg.mix.Ycsb.name cfg.records cfg.value_size cfg.servers
          cfg.ops);
-    let sweeps = List.map (sweep_store cfg) cfg.stores in
+    let jobs =
+      if jobs = 0 then Prism_fleet.Fleet.default_jobs () else max 1 jobs
+    in
+    let sweeps =
+      Prism_fleet.Fleet.with_pool ~jobs (fun pool ->
+          List.map (sweep_store cfg pool) cfg.stores)
+    in
     List.iter
       (fun sw ->
         print_tables sw;
@@ -446,6 +477,6 @@ let () =
          ~doc:"Offered-load sweeps past saturation (knee curves)")
       Term.(
         const main $ quick $ stores $ policies $ points $ arrival $ mix
-        $ records $ servers $ ops $ seed $ json $ gc_tune)
+        $ records $ servers $ ops $ seed $ json $ gc_tune $ jobs)
   in
   exit (Cmd.eval cmd)

@@ -129,12 +129,22 @@ let run_cell cfg ~theta ~placement =
 
 type point = { theta : float; static : cell; hotness : cell }
 
-let run_point cfg theta =
-  let static = run_cell cfg ~theta ~placement:"static" in
-  let hotness = run_cell cfg ~theta ~placement:"hotness" in
-  pf "  theta %.2f done (static %.0f kops, hotness %.0f kops)\n%!" theta
-    static.kops hotness.kops;
-  { theta; static; hotness }
+(* One fleet job per (θ, placement) cell; merged in θ order so tables,
+   progress lines and JSON stay byte-identical for any --jobs. *)
+let run_points cfg ~jobs =
+  let thetas = Array.of_list cfg.thetas in
+  let n = Array.length thetas in
+  let cells =
+    Prism_fleet.Fleet.with_pool ~jobs (fun pool ->
+        Prism_fleet.Fleet.map pool (2 * n) (fun i ->
+            run_cell cfg ~theta:thetas.(i / 2)
+              ~placement:(if i land 1 = 0 then "static" else "hotness")))
+  in
+  List.init n (fun k ->
+      let static = cells.(2 * k) and hotness = cells.((2 * k) + 1) in
+      pf "  theta %.2f done (static %.0f kops, hotness %.0f kops)\n%!"
+        thetas.(k) static.kops hotness.kops;
+      { theta = thetas.(k); static; hotness })
 
 (* ---------------------------------------------------------------- *)
 (* Reporting                                                         *)
@@ -291,7 +301,15 @@ let () =
       & info [ "gc-tune" ]
           ~doc:"Tune the host GC (wall clock only; results unaffected)")
   in
-  let main quick thetas mix records ops threads seed json gc_tune =
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains running sweep cells. Output is byte-identical \
+             for any $(docv); 0 means one per core.")
+  in
+  let main quick thetas mix records ops threads seed json gc_tune jobs =
     if gc_tune then Setup.gc_tune ();
     let base = if quick then quick_config else default_config in
     let mix =
@@ -326,7 +344,10 @@ let () =
          "Placement theta-sweep: mix %s, %d keys x %dB, %d threads, %d \
           ops/cell"
          cfg.mix.Ycsb.name cfg.records cfg.value_size cfg.threads cfg.ops);
-    let points = List.map (run_point cfg) cfg.thetas in
+    let jobs =
+      if jobs = 0 then Prism_fleet.Fleet.default_jobs () else max 1 jobs
+    in
+    let points = run_points cfg ~jobs in
     print_table points;
     print_verdict points;
     (match json with
@@ -344,6 +365,6 @@ let () =
          ~doc:"Zipfian-skew sweep of static vs hotness value placement")
       Term.(
         const main $ quick $ thetas $ mix $ records $ ops $ threads $ seed
-        $ json $ gc_tune)
+        $ json $ gc_tune $ jobs)
   in
   exit (Cmd.eval cmd)

@@ -40,7 +40,7 @@ let fault_suffix cfg =
   | f -> " --fault " ^ fault_name f)
   ^ match cfg.Explore.scan_check with `Weak -> " --scan-weak" | `Strict -> ""
 
-let run_explore ~schedules ~cfg ~verbose =
+let run_explore ~schedules ~cfg ~verbose ~jobs =
   Printf.printf
     "exploring %d schedules: %s, %d threads x %d ops over %d keys, seed \
      0x%Lx, fault %s, %s scans\n\
@@ -60,7 +60,7 @@ let run_explore ~schedules ~cfg ~verbose =
         s.Explore.index s.Explore.tie_seed s.Explore.events s.Explore.choices
         s.Explore.clock
   in
-  let report = Explore.run ~progress ~schedules cfg in
+  let report = Explore.run ~progress ~jobs ~schedules cfg in
   Printf.printf "explored %d schedules (%d distinct interleavings)\n"
     (List.length report.Explore.schedules)
     report.Explore.distinct;
@@ -91,7 +91,7 @@ let run_replay ~cfg ~tie_seed =
 let choices_to_string choices =
   String.concat "," (List.map string_of_int (Array.to_list choices))
 
-let run_dpor ~max_classes ~cfg ~verbose =
+let run_dpor ~max_classes ~cfg ~verbose ~jobs =
   Printf.printf
     "DPOR: up to %d interleaving classes: %s, %d threads x %d ops over %d \
      keys, seed 0x%Lx, fault %s, %s scans\n\
@@ -108,7 +108,7 @@ let run_dpor ~max_classes ~cfg ~verbose =
         "  run %3d  %4d events  %4d tie choices  clock %.6fs\n%!"
         s.Explore.index s.Explore.events s.Explore.choices s.Explore.clock
   in
-  let report = Explore.run_dpor ~progress ~max_classes cfg in
+  let report = Explore.run_dpor ~progress ~jobs ~max_classes cfg in
   Printf.printf
     "explored %d interleaving classes in %d runs (%d pruned as redundant)%s\n"
     report.Explore.classes report.Explore.runs report.Explore.pruned
@@ -171,7 +171,7 @@ let run_shrink ~cfg ~tie_seed =
             (fault_suffix cfg) s.Explore.shrunk_violation;
           false)
 
-let run_sweep ~cfg ~verbose =
+let run_sweep ~cfg ~verbose ~jobs =
   Printf.printf
     "crash sweep: %s, every %d%s boundary, %d threads x %d ops, seed 0x%Lx%s\n\
      %!"
@@ -194,7 +194,7 @@ let run_sweep ~cfg ~verbose =
       Printf.printf "  crashed at %s boundary %d, recovered\n%!" boundary
         crash_point
   in
-  let report = Crash_sweep.run ~progress cfg in
+  let report = Crash_sweep.run ~progress ~jobs cfg in
   List.iter
     (fun (name, total) ->
       Printf.printf "%s boundaries in clean run: %d\n" name total)
@@ -226,7 +226,10 @@ let parse_choices s =
 
 let main store placement seed schedules dpor crash_every replay
     replay_choices shrink no_lsm_wal fault scan_weak scan_every delete_every
-    threads ops records keys_per_thread verbose =
+    threads ops records keys_per_thread jobs verbose =
+  let jobs =
+    if jobs = 0 then Prism_fleet.Fleet.default_jobs () else max 1 jobs
+  in
   let placement =
     match String.lowercase_ascii placement with
     | "static" -> `Static
@@ -329,16 +332,17 @@ let main store placement seed schedules dpor crash_every replay
   | None -> ());
   if schedules > 0 then begin
     did := true;
-    if not (run_explore ~schedules ~cfg:explore_cfg ~verbose) then ok := false
+    if not (run_explore ~schedules ~cfg:explore_cfg ~verbose ~jobs) then
+      ok := false
   end;
   if dpor > 0 then begin
     did := true;
-    if not (run_dpor ~max_classes:dpor ~cfg:explore_cfg ~verbose) then
+    if not (run_dpor ~max_classes:dpor ~cfg:explore_cfg ~verbose ~jobs) then
       ok := false
   end;
   if crash_every > 0 && replay = None && replay_choices = None then begin
     did := true;
-    if not (run_sweep ~cfg:sweep_cfg ~verbose) then ok := false
+    if not (run_sweep ~cfg:sweep_cfg ~verbose ~jobs) then ok := false
   end;
   if not !did then begin
     Printf.eprintf
@@ -453,6 +457,12 @@ let keys_per_thread =
   Arg.(value & opt int 24 & info [ "keys-per-thread" ] ~docv:"KEYS"
          ~doc:"Keys owned by each thread in the crash sweep.")
 
+let jobs =
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Worker domains for schedule exploration, DPOR, and the \
+               crash sweep. Output is byte-identical for any $(docv); \
+               $(b,0) means one per core.")
+
 let verbose =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Per-schedule and \
                                                     per-crash-point progress.")
@@ -468,6 +478,7 @@ let cmd =
       const main $ store $ placement $ seed $ schedules $ dpor $ crash_every
       $ replay
       $ replay_choices $ shrink $ no_lsm_wal $ fault $ scan_weak $ scan_every
-      $ delete_every $ threads $ ops $ records $ keys_per_thread $ verbose)
+      $ delete_every $ threads $ ops $ records $ keys_per_thread $ jobs
+      $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,5 +1,6 @@
 open Prism_sim
 open Prism_harness
+open Prism_fleet
 
 exception Crash_now
 
@@ -397,94 +398,119 @@ let run_lsm cfg boundary ~target =
       ignore (Engine.run engine);
       Ok (`Crashed !violations)
 
-(* ---- driver ---- *)
+(* ---- driver ----
 
-let run ?(progress = fun ~boundary:_ ~crash_point:_ -> ()) cfg =
-  let k = max 1 cfg.crash_every in
-  match cfg.store with
-  | `Prism ->
-      let nvm_total, ssd_total =
-        match run_prism cfg Nvm_persist ~target:0 with
-        | Ok (`Completed counts) -> counts
-        | Ok (`Crashed _) | Error _ -> assert false
-      in
-      let crash_points = ref 0 in
-      let violations = ref [] in
-      let sweep boundary total =
-        let target = ref k in
-        while !target <= total do
-          (match run_prism cfg boundary ~target:!target with
-          | Ok (`Crashed v) ->
-              incr crash_points;
-              violations := v @ !violations;
-              progress ~boundary:(boundary_name boundary)
-                ~crash_point:!target
-          | Ok (`Completed _) ->
-              (* Reached past the last boundary of this run; stop. *)
-              target := total
-          | Error `Crashed_before_store -> ());
-          target := !target + k
-        done
-      in
-      sweep Nvm_persist nvm_total;
-      sweep Ssd_write ssd_total;
-      {
-        crash_points = !crash_points;
-        boundaries =
-          [ ("nvm-persist", nvm_total); ("ssd-write", ssd_total) ];
-        violations = List.rev !violations;
-      }
-  | `Lsm ->
-      let wal_total, publish_total =
-        match run_lsm cfg Wal_append ~target:0 with
-        | Ok (`Completed counts) -> counts
-        | Ok (`Crashed _) | Error _ -> assert false
-      in
-      let crash_points = ref 0 in
-      let violations = ref [] in
-      let sweep boundary total =
-        let target = ref k in
-        while !target <= total do
-          (match run_lsm cfg boundary ~target:!target with
-          | Ok (`Crashed v) ->
-              incr crash_points;
-              violations := v @ !violations;
-              progress
-                ~boundary:(lsm_boundary_name boundary)
-                ~crash_point:!target
-          | Ok (`Completed _) -> target := total
-          | Error `Crashed_before_store -> ());
-          target := !target + k
-        done
-      in
-      sweep Wal_append wal_total;
-      sweep Sstable_publish publish_total;
-      {
-        crash_points = !crash_points;
-        boundaries =
-          [ ("wal-append", wal_total); ("sstable-publish", publish_total) ];
-        violations = List.rev !violations;
-      }
-  | `Kvell ->
-      let total_time, total_events =
-        match run_kvell cfg ~crash_at:None ~crash_point:0 with
-        | Ok (`Completed r) -> r
-        | Ok (`Crashed _) | Error _ -> assert false
-      in
-      let n_points = max 1 (total_events / k) in
-      let crash_points = ref 0 in
-      let violations = ref [] in
-      for i = 1 to n_points do
-        let t = total_time *. float_of_int i /. float_of_int (n_points + 1) in
-        match run_kvell cfg ~crash_at:(Some t) ~crash_point:i with
+   Parallel shape: the clean run (which measures boundary totals) is
+   serial, then every crash target becomes one fleet job — each job
+   builds its own engine, store and oracle from [cfg], so jobs share
+   nothing mutable. The merge walks results in ascending target order
+   and replays the serial driver's control flow exactly: count, collect
+   violations, call [progress], and stop a boundary's sweep at the first
+   [`Completed] (the serial loop stops issuing targets there; the merge
+   stops {e consuming} there, discarding the speculatively-run tail), so
+   the report is byte-identical to a serial sweep for any [jobs]. *)
+
+let targets_of ~k ~total =
+  let rec mk t acc = if t > total then Array.of_list (List.rev acc) else mk (t + k) (t :: acc) in
+  mk k []
+
+(* Run [runner target] for every target in parallel and fold the results
+   in target order with serial early-stop semantics. *)
+let sweep_boundary pool ~runner ~name ~progress ~crash_points ~violations
+    ~targets =
+  let results = Fleet.map pool (Array.length targets) (fun i -> runner targets.(i)) in
+  try
+    Array.iteri
+      (fun i result ->
+        match result with
         | Ok (`Crashed v) ->
             incr crash_points;
             violations := v @ !violations;
-            progress ~boundary:"virtual-time" ~crash_point:i
-        | Ok (`Completed _) | Error `Crashed_before_store -> ()
-      done;
-      {
-        crash_points = !crash_points;
-        boundaries = [ ("virtual-time", n_points) ];
-        violations = List.rev !violations;
-      }
+            progress ~boundary:name ~crash_point:targets.(i)
+        | Ok (`Completed _) ->
+            (* Past the last boundary of this run; the serial sweep stops
+               here, so later targets are dropped unconsumed. *)
+            raise Exit
+        | Error `Crashed_before_store -> ())
+      results
+  with Exit -> ()
+
+let run ?(progress = fun ~boundary:_ ~crash_point:_ -> ()) ?(jobs = 1) cfg =
+  let k = max 1 cfg.crash_every in
+  Fleet.with_pool ~jobs (fun pool ->
+      match cfg.store with
+      | `Prism ->
+          let nvm_total, ssd_total =
+            match run_prism cfg Nvm_persist ~target:0 with
+            | Ok (`Completed counts) -> counts
+            | Ok (`Crashed _) | Error _ -> assert false
+          in
+          let crash_points = ref 0 in
+          let violations = ref [] in
+          let sweep boundary total =
+            sweep_boundary pool
+              ~runner:(fun target -> run_prism cfg boundary ~target)
+              ~name:(boundary_name boundary) ~progress ~crash_points
+              ~violations ~targets:(targets_of ~k ~total)
+          in
+          sweep Nvm_persist nvm_total;
+          sweep Ssd_write ssd_total;
+          {
+            crash_points = !crash_points;
+            boundaries =
+              [ ("nvm-persist", nvm_total); ("ssd-write", ssd_total) ];
+            violations = List.rev !violations;
+          }
+      | `Lsm ->
+          let wal_total, publish_total =
+            match run_lsm cfg Wal_append ~target:0 with
+            | Ok (`Completed counts) -> counts
+            | Ok (`Crashed _) | Error _ -> assert false
+          in
+          let crash_points = ref 0 in
+          let violations = ref [] in
+          let sweep boundary total =
+            sweep_boundary pool
+              ~runner:(fun target -> run_lsm cfg boundary ~target)
+              ~name:(lsm_boundary_name boundary) ~progress ~crash_points
+              ~violations ~targets:(targets_of ~k ~total)
+          in
+          sweep Wal_append wal_total;
+          sweep Sstable_publish publish_total;
+          {
+            crash_points = !crash_points;
+            boundaries =
+              [ ("wal-append", wal_total); ("sstable-publish", publish_total) ];
+            violations = List.rev !violations;
+          }
+      | `Kvell ->
+          let total_time, total_events =
+            match run_kvell cfg ~crash_at:None ~crash_point:0 with
+            | Ok (`Completed r) -> r
+            | Ok (`Crashed _) | Error _ -> assert false
+          in
+          let n_points = max 1 (total_events / k) in
+          let crash_points = ref 0 in
+          let violations = ref [] in
+          let results =
+            Fleet.map pool n_points (fun idx ->
+                let i = idx + 1 in
+                let t =
+                  total_time *. float_of_int i /. float_of_int (n_points + 1)
+                in
+                run_kvell cfg ~crash_at:(Some t) ~crash_point:i)
+          in
+          Array.iteri
+            (fun idx result ->
+              match result with
+              | Ok (`Crashed v) ->
+                  incr crash_points;
+                  violations := v @ !violations;
+                  progress ~boundary:"virtual-time" ~crash_point:(idx + 1)
+              | Ok (`Completed _) | Error `Crashed_before_store -> ())
+            results;
+          {
+            crash_points = !crash_points;
+            boundaries = [ ("virtual-time", n_points) ];
+            violations = List.rev !violations;
+          })

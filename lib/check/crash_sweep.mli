@@ -57,9 +57,16 @@ type report = {
 
 (** [run cfg] performs the full sweep: one clean run to count boundaries,
     then one crash-and-recover run per injection point. [progress] fires
-    after each injected crash. *)
+    after each injected crash (in ascending target order, whatever
+    [jobs] is). [jobs > 1] farms the crash runs out to that many fleet
+    lanes — every target is an independent simulation — and merges the
+    results in target order, replaying the serial driver's early-stop
+    behaviour, so the report is byte-identical to [jobs = 1]. *)
 val run :
-  ?progress:(boundary:string -> crash_point:int -> unit) -> config -> report
+  ?progress:(boundary:string -> crash_point:int -> unit) ->
+  ?jobs:int ->
+  config ->
+  report
 
 (** [prism_crash_once cfg ~boundary ~target] is one Prism
     crash-at-boundary-[target] run (clean when [target = 0]), under an

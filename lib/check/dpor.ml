@@ -1,4 +1,5 @@
 open Prism_sim
+open Prism_fleet
 
 module Iset = Set.Make (Int)
 
@@ -15,7 +16,9 @@ module Iset = Set.Make (Int)
    frontier to extend next (see [order] in {!explore}) instead of being
    forced into deepest-first backtracking. *)
 type node = {
-  id : int;  (* creation order — ties into the exploration order *)
+  mutable id : int;  (* commit order — assigned when the creating run
+                        commits (creation order in the serial walk); -1
+                        while the run is still speculative *)
   depth : int;  (* decision index of this node within its runs *)
   path_nodes : node array;  (* ancestor decisions, root first *)
   path_picks : int array;  (* pick taken at each ancestor *)
@@ -85,27 +88,28 @@ let closure ~full ~dependent (alts : Engine.alt array) taken_seq =
     !members
   end
 
-(* First alternative at [n] eligible to start a new subtree: in the
-   persistent set, not already started, not asleep. -1 when exhausted. *)
-let candidate n =
+(* First alternative at [n] eligible to start a new subtree under the
+   given [started] set: in the persistent set, not already started, not
+   asleep. -1 when exhausted. Parameterising [started] lets the
+   speculative scheduler evaluate candidates against a predicted future
+   state without touching the node. *)
+let candidate_with started n =
   let c = ref (-1) in
   Array.iteri
     (fun i (a : Engine.alt) ->
       if
         !c < 0
         && Iset.mem a.seq n.branch
-        && (not (Iset.mem a.seq n.started))
+        && (not (Iset.mem a.seq started))
         && not (Iset.mem a.seq n.sleep)
       then c := i)
     n.alts;
   !c
 
+let candidate n = candidate_with n.started n
+
 let explore ?(order = `Frontier) ?(full = false) ?(stop_on = fun _ -> false)
-    ~max_classes ~dependent run_fn =
-  (* Labels of every seq ever seen in a tie set. Seqs are deterministic
-     per prefix, so entries stay valid across runs; sleep-set filtering
-     needs a label even for seqs absent from the current tie set. *)
-  let label_of : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+    ?(on_commit = fun ~run:_ _ -> ()) ?pool ~max_classes ~dependent run_fn =
   let nodes : node list ref = ref [] in
   let node_count = ref 0 in
   let classes = ref [] in
@@ -113,7 +117,25 @@ let explore ?(order = `Frontier) ?(full = false) ?(stop_on = fun _ -> false)
   let runs = ref 0 in
   let pruned = ref 0 in
   let complete = ref false in
-  let run_once (target : (node * int) option) =
+  (* One run against [target], touching no shared exploration state —
+     so it can execute speculatively on a worker domain and be committed
+     (or discarded) later by the coordinator.
+
+     The label table is run-local. That is equivalent to a persistent
+     global one: every seq consulted by sleep-set filtering is a member
+     of some ancestor's sleep/started set, and those sets are (by
+     construction) subsets of the seqs of tie sets at shallower depths
+     along the same path — tie sets this run replays itself, recording
+     every member's label before the first consultation. A global table
+     could only differ on seqs this run never consults.
+
+     [snapshot] is the [started] set the run assumes at the target node;
+     the run works on a local shadow of the node (grown by its own pick)
+     instead of publishing the update, and the coordinator validates the
+     snapshot is still current at commit time. Fresh nodes carry [id]
+     -1 until the commit numbers them. *)
+  let spec_run (target : (node * int) option) ~snapshot =
+    let label_of : (int, int) Hashtbl.t = Hashtbl.create 256 in
     let fresh : node list ref = ref [] in
     (* Parent of the next fresh decision point, with the index taken
        there — seeds the child's sleep set. *)
@@ -142,9 +164,13 @@ let explore ?(order = `Frontier) ?(full = false) ?(stop_on = fun _ -> false)
               Array.length n.alts <> Array.length alts
               || n.alts.(i).seq <> alts.(i).seq
             then raise Diverged;
-            n.started <- Iset.add n.alts.(i).seq n.started;
             target_forced := true;
-            last := Some (n, i);
+            (* Run-local shadow: descendants must see [started] grown by
+               this run's own pick, but the real node is only updated at
+               commit. Only [alts]/[sleep]/[started] of [last] are ever
+               read downstream, so the copy is safe to thread through
+               child paths. *)
+            last := Some ({ n with started = Iset.add n.alts.(i).seq snapshot }, i);
             i
         | _ ->
             if !redundant then 0
@@ -194,7 +220,7 @@ let explore ?(order = `Frontier) ?(full = false) ?(stop_on = fun _ -> false)
                 in
                 let node =
                   {
-                    id = !node_count;
+                    id = -1;
                     depth = d;
                     path_nodes;
                     path_picks;
@@ -204,7 +230,6 @@ let explore ?(order = `Frontier) ?(full = false) ?(stop_on = fun _ -> false)
                     started = Iset.singleton alts.(!taken).seq;
                   }
                 in
-                incr node_count;
                 fresh := node :: !fresh;
                 last := Some (node, !taken);
                 !taken
@@ -221,8 +246,39 @@ let explore ?(order = `Frontier) ?(full = false) ?(stop_on = fun _ -> false)
            the simulation is not reproducing its prefix. *)
         raise Diverged
     | _ -> ());
-    nodes := !fresh @ !nodes;
-    (result, !redundant, !depth, Array.of_list (List.rev !choices_rev))
+    ( result,
+      !redundant,
+      !depth,
+      Array.of_list (List.rev !choices_rev),
+      List.rev !fresh (* creation order *) )
+  in
+  let stopped = ref false in
+  (* Publish a finished run: update the target's persistent state,
+     number and adopt the fresh nodes, account the class. Commit order
+     IS the serial exploration order, so everything downstream (ids,
+     run numbers, class indices, [on_commit] calls) is byte-identical
+     to the serial walk whatever executed the runs. *)
+  let commit (result, redundant, rdepth, choices, fresh) target =
+    (match target with
+    | Some ((n : node), i) -> n.started <- Iset.add n.alts.(i).seq n.started
+    | None -> ());
+    List.iter
+      (fun f ->
+        f.id <- !node_count;
+        incr node_count)
+      fresh;
+    nodes := List.rev_append fresh !nodes;
+    incr runs;
+    if redundant then incr pruned
+    else begin
+      classes :=
+        { index = !n_classes; run = !runs; depth = rdepth; choices; result }
+        :: !classes;
+      incr n_classes;
+      if stop_on result then stopped := true
+    end;
+    on_commit ~run:!runs result;
+    if !n_classes >= max_classes then stopped := true
   in
   (* Next frontier to extend. [`Frontier] branches at the shallowest
      pending node (earliest decision with an uncovered dependent
@@ -240,31 +296,108 @@ let explore ?(order = `Frontier) ?(full = false) ?(stop_on = fun _ -> false)
     List.fold_left (fun acc n -> if better n acc then n else acc)
       (List.hd l) (List.tl l)
   in
-  let continue_ = ref true in
-  let target = ref None in
-  while !continue_ do
-    let result, redundant, depth, choices = run_once !target in
-    incr runs;
-    let stop = ref false in
-    if redundant then incr pruned
-    else begin
-      classes :=
-        { index = !n_classes; run = !runs; depth; choices; result } :: !classes;
-      incr n_classes;
-      if stop_on result then stop := true
-    end;
-    if !stop || !n_classes >= max_classes then continue_ := false
-    else begin
-      nodes := List.filter (fun n -> candidate n >= 0) !nodes;
-      match !nodes with
-      | [] ->
-          complete := true;
-          continue_ := false
-      | l ->
-          let n = select l in
-          target := Some (n, candidate n)
-    end
-  done;
+  let next_target () =
+    nodes := List.filter (fun n -> candidate n >= 0) !nodes;
+    match !nodes with
+    | [] -> None
+    | l ->
+        let n = select l in
+        Some (n, candidate n)
+  in
+  (* The root run builds the initial tree and must run alone. *)
+  commit (spec_run None ~snapshot:Iset.empty) None;
+  (match pool with
+  | Some pool when Fleet.jobs pool > 1 ->
+      (* Speculative frontier walk. The serial algorithm is a chain —
+         each run's fresh nodes feed the next selection — so parallelism
+         comes from *predicting* the next few selections and running
+         them speculatively, while the coordinator commits strictly in
+         the serial selection order. Before consuming each speculative
+         result it recomputes the true next target from committed state;
+         a prediction holds unless a committed run created a node that
+         preempts the selection (or grew the target's [started] under
+         it), in which case the walk falls back to one serial step and
+         the rest of the batch is discarded. Commits are the only
+         mutation of shared state, so discarded speculations leave no
+         trace and the report is byte-identical to the serial walk. *)
+      let window = 2 * Fleet.jobs pool in
+      (* Predict the next [window] (node, alt, started-snapshot) targets
+         by replaying the selection rule against a shadow frontier whose
+         started sets grow with each predicted pick. *)
+      let predict () =
+        let shadow : (int, Iset.t) Hashtbl.t = Hashtbl.create 16 in
+        let started_of n =
+          match Hashtbl.find_opt shadow n.id with
+          | Some s -> s
+          | None -> n.started
+        in
+        let preds = ref [] in
+        let n_preds = ref 0 in
+        let exhausted = ref false in
+        while (not !exhausted) && !n_preds < window do
+          match
+            List.filter (fun n -> candidate_with (started_of n) n >= 0) !nodes
+          with
+          | [] -> exhausted := true
+          | live ->
+              let n = select live in
+              let i = candidate_with (started_of n) n in
+              let snap = started_of n in
+              preds := (n, i, snap) :: !preds;
+              incr n_preds;
+              Hashtbl.replace shadow n.id (Iset.add n.alts.(i).seq snap)
+        done;
+        List.rev !preds
+      in
+      while not !stopped do
+        match next_target () with
+        | None ->
+            complete := true;
+            stopped := true
+        | Some _ ->
+            let batch =
+              List.map
+                (fun (n, i, snap) ->
+                  ( n,
+                    i,
+                    snap,
+                    Fleet.submit pool (fun () ->
+                        spec_run (Some (n, i)) ~snapshot:snap) ))
+                (predict ())
+            in
+            let mispredicted = ref false in
+            List.iter
+              (fun (n, i, snap, fu) ->
+                if !stopped || !mispredicted then
+                  (* Discarded speculation: never committed, so it never
+                     existed as far as the report is concerned. An idle
+                     worker may still burn cycles on it — harmless. *)
+                  ignore fu
+                else
+                  match next_target () with
+                  | None ->
+                      complete := true;
+                      stopped := true
+                  | Some (n', i')
+                    when n' == n && i' = i && Iset.equal snap n.started ->
+                      commit (Fleet.await pool fu) (Some (n, i))
+                  | Some (n', i') ->
+                      mispredicted := true;
+                      commit
+                        (spec_run (Some (n', i')) ~snapshot:n'.started)
+                        (Some (n', i')))
+              batch
+      done
+  | _ ->
+      (* Serial walk: same spec_run/commit pair, back to back. *)
+      while not !stopped do
+        match next_target () with
+        | None ->
+            complete := true;
+            stopped := true
+        | Some (n, i) ->
+            commit (spec_run (Some (n, i)) ~snapshot:n.started) (Some (n, i))
+      done);
   {
     classes = List.rev !classes;
     explored = !n_classes;

@@ -82,11 +82,29 @@ exception Diverged
     event labels; [order] picks the frontier heuristic described above
     (default [`Frontier]); [full = true] disables persistent-set pruning
     {e and} sleep sets — the exhaustive walk used as a brute-force
-    reference. *)
+    reference.
+
+    [on_commit ~run result] fires once per committed run (including
+    pruned ones), in commit order, with the 1-based run number — use it
+    for progress reporting that must stay deterministic under [pool].
+
+    {b Parallel exploration.} With [pool] (of more than one lane), runs
+    execute speculatively on worker domains: the coordinator predicts
+    the next few serial selections, farms them out, and commits results
+    strictly in the serial selection order after re-validating each
+    prediction against committed state (falling back to one serial step
+    when a committed run's fresh nodes preempt the predicted target).
+    Shared state is only ever mutated at commit, so the report — class
+    set, indices, run numbers, choices, [complete] — is byte-identical
+    to the serial walk for any worker count. [run] must then be
+    domain-safe: each call builds its own engine/stores and shares
+    nothing mutable. *)
 val explore :
   ?order:[ `Frontier | `Deepest ] ->
   ?full:bool ->
   ?stop_on:('a -> bool) ->
+  ?on_commit:(run:int -> 'a -> unit) ->
+  ?pool:Prism_fleet.Fleet.pool ->
   max_classes:int ->
   dependent:(int -> int -> bool) ->
   (choose:(Prism_sim.Engine.alt array -> int) -> 'a) ->

@@ -224,20 +224,35 @@ let run_schedule cfg ~index ~tie_seed =
   in
   (stats, violation)
 
-let run ?(progress = fun _ -> ()) ~schedules cfg =
+let run ?(progress = fun _ -> ()) ?(jobs = 1) ~schedules cfg =
   let stats = ref [] in
   let failures = ref [] in
   let fingerprints = Hashtbl.create (2 * schedules) in
-  for i = 0 to schedules - 1 do
-    let tie_seed = tie_seed_for cfg.seed i in
-    let s, fail = run_schedule cfg ~index:i ~tie_seed in
+  let merge (s, fail) =
     stats := s :: !stats;
     Hashtbl.replace fingerprints s.fingerprint ();
     (match fail with
     | Some violation -> failures := { stats = s; violation } :: !failures
     | None -> ());
     progress s
-  done;
+  in
+  if jobs <= 1 then
+    (* Serial: run and merge interleaved, so [progress] stays live. *)
+    for i = 0 to schedules - 1 do
+      merge (run_schedule cfg ~index:i ~tie_seed:(tie_seed_for cfg.seed i))
+    done
+  else begin
+    (* Schedules are independent by construction (each names its own
+       interleaving via its tie seed), so this is a pure fleet map;
+       merging in index order makes the report byte-identical to the
+       serial loop. *)
+    let results =
+      Prism_fleet.Fleet.with_pool ~jobs (fun pool ->
+          Prism_fleet.Fleet.map pool schedules (fun i ->
+              run_schedule cfg ~index:i ~tie_seed:(tie_seed_for cfg.seed i)))
+    in
+    Array.iter merge results
+  end;
   {
     schedules = List.rev !stats;
     distinct = Hashtbl.length fingerprints;
@@ -266,27 +281,34 @@ type dpor_report = {
   dpor_failures : dpor_failure list;
 }
 
-let run_dpor ?(progress = fun _ -> ()) ?(stop_on_failure = false) ~max_classes
-    cfg =
-  let index = ref 0 in
+let run_dpor ?(progress = fun _ -> ()) ?(stop_on_failure = false) ?(jobs = 1)
+    ~max_classes cfg =
+  (* The run body must be pure with respect to exploration state so it
+     can execute speculatively on a worker domain: no counters, no
+     progress calls. The committed run number arrives via [on_commit]
+     (serial order), which is where progress fires — so a stats line is
+     only ever reported for runs the serial walk would have executed,
+     with the index it would have carried. *)
   let run ~choose =
-    let i = !index in
-    incr index;
     let stats, _choices, violation =
-      run_one cfg ~index:i ~tie_seed:0L ~tie:(Engine.Guided choose)
+      run_one cfg ~index:0 ~tie_seed:0L ~tie:(Engine.Guided choose)
     in
-    progress stats;
-    violation
+    (stats, violation)
+  in
+  let explore pool =
+    Dpor.explore ?pool
+      ~on_commit:(fun ~run:r (stats, _) -> progress { stats with index = r - 1 })
+      ~stop_on:(fun (_, violation) -> stop_on_failure && violation <> None)
+      ~max_classes ~dependent:History.conflicting run
   in
   let report =
-    Dpor.explore
-      ~stop_on:(fun violation -> stop_on_failure && violation <> None)
-      ~max_classes ~dependent:History.conflicting run
+    if jobs <= 1 then explore None
+    else Prism_fleet.Fleet.with_pool ~jobs (fun p -> explore (Some p))
   in
   let dpor_failures =
     List.filter_map
-      (fun (c : string option Dpor.class_result) ->
-        match c.Dpor.result with
+      (fun (c : (schedule_stats * string option) Dpor.class_result) ->
+        match snd c.Dpor.result with
         | Some violation ->
             Some
               {

@@ -71,9 +71,16 @@ val tie_seed_for : int64 -> int -> int64
 
 (** [run ~schedules cfg] explores [schedules] seeded interleavings of the
     same workload and checks each history for linearizability (plus the
-    scan sanity conditions). [progress] is called after each schedule. *)
+    scan sanity conditions). [progress] is called after each schedule,
+    in schedule order. With [jobs > 1] the schedules execute on a
+    {!Prism_fleet.Fleet} pool; the report (and the [progress] sequence)
+    is byte-identical to the serial run for any job count. *)
 val run :
-  ?progress:(schedule_stats -> unit) -> schedules:int -> config -> report
+  ?progress:(schedule_stats -> unit) ->
+  ?jobs:int ->
+  schedules:int ->
+  config ->
+  report
 
 (** [replay cfg ~tie_seed] re-runs a single schedule and returns the
     violation text, if any — for reproducing a reported failure. *)
@@ -104,10 +111,14 @@ type dpor_report = {
 
 (** [run_dpor ~max_classes cfg] explores up to [max_classes] distinct
     interleaving classes of the workload. With [stop_on_failure] the walk
-    stops at the first linearizability violation. *)
+    stops at the first linearizability violation. With [jobs > 1] the
+    frontier is explored speculatively on worker domains (see
+    {!Dpor.explore}); the report and [progress] sequence are
+    byte-identical to the serial walk. *)
 val run_dpor :
   ?progress:(schedule_stats -> unit) ->
   ?stop_on_failure:bool ->
+  ?jobs:int ->
   max_classes:int ->
   config ->
   dpor_report

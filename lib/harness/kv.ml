@@ -145,19 +145,70 @@ let instrument engine kv =
         Span.end_ spans h ~now:t1)
       f
   in
+  (* Latency recording on the spans-disabled path (the common case):
+     integer-nanosecond timestamps ([Engine.now_ns]) feed [Hist.record]'s
+     int argument directly, and exception propagation is an explicit
+     handler — no [Fun.protect]/thunk closures and no float boxing, so
+     the middleware adds zero allocation per op. The slow [timed] path
+     (spans enabled) keeps the float clock for span bookkeeping. *)
+  let record_since hist t0_ns =
+    Hist.record hist (Engine.now_ns engine - t0_ns)
+  in
+  let reraise e t0_ns hist =
+    let bt = Printexc.get_raw_backtrace () in
+    record_since hist t0_ns;
+    Printexc.raise_with_backtrace e bt
+  in
   {
     kv with
     put =
       (fun ~tid key value ->
-        timed (p ^ ".put") h_put ~tid (fun () ->
-            kv.put ~tid key value;
-            Metric.Counter.add put_bytes (Bytes.length value)));
+        if Span.enabled spans then
+          timed (p ^ ".put") h_put ~tid (fun () ->
+              kv.put ~tid key value;
+              Metric.Counter.add put_bytes (Bytes.length value))
+        else begin
+          let t0 = Engine.now_ns engine in
+          match kv.put ~tid key value with
+          | () ->
+              Metric.Counter.add put_bytes (Bytes.length value);
+              record_since h_put t0
+          | exception e -> reraise e t0 h_put
+        end);
     get =
-      (fun ~tid key -> timed (p ^ ".get") h_get ~tid (fun () -> kv.get ~tid key));
+      (fun ~tid key ->
+        if Span.enabled spans then
+          timed (p ^ ".get") h_get ~tid (fun () -> kv.get ~tid key)
+        else begin
+          let t0 = Engine.now_ns engine in
+          match kv.get ~tid key with
+          | r ->
+              record_since h_get t0;
+              r
+          | exception e -> reraise e t0 h_get
+        end);
     delete =
       (fun ~tid key ->
-        timed (p ^ ".delete") h_delete ~tid (fun () -> kv.delete ~tid key));
+        if Span.enabled spans then
+          timed (p ^ ".delete") h_delete ~tid (fun () -> kv.delete ~tid key)
+        else begin
+          let t0 = Engine.now_ns engine in
+          match kv.delete ~tid key with
+          | r ->
+              record_since h_delete t0;
+              r
+          | exception e -> reraise e t0 h_delete
+        end);
     scan =
       (fun ~tid key count ->
-        timed (p ^ ".scan") h_scan ~tid (fun () -> kv.scan ~tid key count));
+        if Span.enabled spans then
+          timed (p ^ ".scan") h_scan ~tid (fun () -> kv.scan ~tid key count)
+        else begin
+          let t0 = Engine.now_ns engine in
+          match kv.scan ~tid key count with
+          | r ->
+              record_since h_scan t0;
+              r
+          | exception e -> reraise e t0 h_scan
+        end);
   }

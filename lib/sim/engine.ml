@@ -19,7 +19,15 @@ type policy =
    channel, so the queue needs no per-event record at all. *)
 
 type t = {
-  mutable now : float;
+  clock : float array;
+      (* [clock.(0)] is the simulation's "now", [clock.(1)] the active
+         run's limit. A float array rather than [mutable now : float]: in
+         a mixed record the float field is a boxed pointer, so every
+         [t.now <- time] on the dispatch path would allocate; and handing
+         the array to {!Heap.advance_if_due}/{!Heap.push_after} keeps
+         event times from ever crossing the Heap module boundary as bare
+         floats (which box under dune's dev profile, where [-opaque]
+         disables cross-module inlining). *)
   mutable seq : int;
   mutable stopped : bool;
   mutable executed : int;
@@ -47,12 +55,15 @@ type _ Effect.t +=
 (* The engine of the currently-running process. [run] sets it for the whole
    event loop (events only ever execute inside their own engine's loop), so
    [delay]/[suspend] can find their engine without every call site threading
-   it explicitly — and without a save/restore per event. *)
-let current : t option ref = ref None
+   it explicitly — and without a save/restore per event. Domain-local so
+   fleet workers can each drive their own engine concurrently: effects are
+   handled in the domain that performed them, so the binding never needs to
+   cross domains. *)
+let current_key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
 let create () =
   {
-    now = 0.0;
+    clock = [| 0.0; infinity |];
     seq = 0;
     stopped = false;
     executed = 0;
@@ -73,20 +84,35 @@ let set_tie_break t = function
 
 let recorded_choices t = Array.of_list (List.rev t.choices_rev)
 
-let now t = t.now
+let[@inline] now t = Array.unsafe_get t.clock 0
+
+(* Current time in integer nanoseconds. An [int] crosses module
+   boundaries unboxed even under [-opaque] (dev profile), so latency
+   middleware can timestamp every operation without allocating — a bare
+   float return from [now] would box at every such call site. *)
+let now_ns t = int_of_float ((Array.unsafe_get t.clock 0 *. 1e9) +. 0.5)
+
+let[@inline] set_now t time = Array.unsafe_set t.clock 0 time
 
 let annotate t label = t.cur_label <- label
 
 let annotation t = t.cur_label
 
 let enqueue ?label t ~at f =
-  assert (at >= t.now);
+  assert (at >= now t);
   let aux = match label with None -> t.cur_label | Some l -> l in
   let seq = t.seq in
   t.seq <- seq + 1;
-  Heap.push t.events ~time:at ~seq ~aux f
+  Heap.push_aux t.events ~time:at ~seq ~aux f
 
-let schedule t ~after f = enqueue t ~at:(t.now +. after) f
+(* Relative-time scheduling goes through [Heap.push_after]: the heap adds
+   [after] to the clock cell on its side of the call boundary, so this
+   path never boxes an event time — [after] is forwarded as the (already
+   boxed) float the caller holds. *)
+let schedule t ~after f =
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  Heap.push_after t.events ~clock:t.clock ~after ~seq ~aux:t.cur_label f
 
 let handler (_ : t) =
   let open Effect.Deep in
@@ -95,7 +121,10 @@ let handler (_ : t) =
     | Delay (engine, d) ->
         Some
           (fun k ->
-            enqueue engine ~at:(engine.now +. d) (fun () -> continue k ()))
+            let seq = engine.seq in
+            engine.seq <- seq + 1;
+            Heap.push_after engine.events ~clock:engine.clock ~after:d ~seq
+              ~aux:engine.cur_label (fun () -> continue k ()))
     | Suspend (engine, register) ->
         Some
           (fun k ->
@@ -107,13 +136,16 @@ let handler (_ : t) =
             register (fun () ->
                 if !resumed then invalid_arg "Engine: resume called twice";
                 resumed := true;
-                enqueue ~label engine ~at:engine.now (fun () -> continue k ())))
+                let seq = engine.seq in
+                engine.seq <- seq + 1;
+                Heap.push_after engine.events ~clock:engine.clock ~after:0.0
+                  ~seq ~aux:label (fun () -> continue k ())))
     | _ -> None
   in
   { retc = Fun.id; exnc = raise; effc }
 
 let spawn t ?at f =
-  let at = match at with None -> t.now | Some at -> at in
+  let at = match at with None -> now t | Some at -> at in
   enqueue t ~at (fun () -> Effect.Deep.match_with f () (handler t))
 
 (* Pop one event of the tie set at the minimum [time] under the active
@@ -169,49 +201,50 @@ let pop_tie_set t time =
 
 let run ?(until = infinity) t =
   t.stopped <- false;
-  let saved = !current in
-  current := Some t;
+  Array.unsafe_set t.clock 1 until;
+  let saved = Domain.DLS.get current_key in
+  Domain.DLS.set current_key (Some t);
   Fun.protect
-    ~finally:(fun () -> current := saved)
+    ~finally:(fun () -> Domain.DLS.set current_key saved)
     (fun () ->
       let continue_running = ref true in
       while !continue_running && not t.stopped do
-        if Heap.is_empty t.events then continue_running := false
+        (* [advance_if_due] writes the min event time into the clock cell
+           when it is within [until]; no float crosses the Heap boundary
+           on this path, keeping FIFO dispatch allocation-free. *)
+        if Heap.advance_if_due t.events t.clock then begin
+          match t.policy with
+          | P_fifo ->
+              (* The hot path: a plain heap pop, no tie-set machinery,
+                 no allocation. *)
+              let label = Heap.min_aux t.events in
+              let action = Heap.pop_unsafe t.events in
+              t.executed <- t.executed + 1;
+              t.cur_label <- label;
+              action ()
+          | _ ->
+              let label, action = pop_tie_set t (now t) in
+              t.executed <- t.executed + 1;
+              t.cur_label <- label;
+              action ()
+        end
         else begin
-          let time = Heap.min_time t.events in
-          if time > until then begin
-            (* Leave the event queued; a later [run] can resume it. *)
-            t.now <- until;
-            continue_running := false
-          end
-          else
-            match t.policy with
-            | P_fifo ->
-                (* The hot path: a plain heap pop, no tie-set machinery,
-                   no allocation. *)
-                let label = Heap.min_aux t.events in
-                let action = Heap.pop_unsafe t.events in
-                t.now <- time;
-                t.executed <- t.executed + 1;
-                t.cur_label <- label;
-                action ()
-            | _ ->
-                let label, action = pop_tie_set t time in
-                t.now <- time;
-                t.executed <- t.executed + 1;
-                t.cur_label <- label;
-                action ()
+          (* Empty, or the next event lies beyond [until] — leave it
+             queued (a later [run] can resume it) and advance the clock
+             to the horizon only if something remains. *)
+          if not (Heap.is_empty t.events) then set_now t until;
+          continue_running := false
         end
       done);
   t.cur_label <- 0;
-  t.now
+  now t
 
 let stop t = t.stopped <- true
 
 let clear_pending t = Heap.clear t.events
 
 let current_engine () =
-  match !current with
+  match Domain.DLS.get current_key with
   | Some t -> t
   | None -> invalid_arg "Engine: not inside a simulation process"
 
@@ -231,7 +264,7 @@ let suspend register =
   let t = current_engine () in
   Effect.perform (Suspend (t, register))
 
-let current_now () = (current_engine ()).now
+let current_now () = now (current_engine ())
 
 let current () = current_engine ()
 
@@ -244,6 +277,6 @@ let spans t = t.spans
 let with_span t ?(tid = 0) name f =
   if not (Span.enabled t.spans) then f ()
   else begin
-    let h = Span.begin_ t.spans ~name ~tid ~now:t.now in
-    Fun.protect ~finally:(fun () -> Span.end_ t.spans h ~now:t.now) f
+    let h = Span.begin_ t.spans ~name ~tid ~now:(now t) in
+    Fun.protect ~finally:(fun () -> Span.end_ t.spans h ~now:(now t)) f
   end

@@ -71,6 +71,12 @@ val create : unit -> t
 (** Current virtual time, in seconds. *)
 val now : t -> float
 
+(** Current virtual time in integer nanoseconds (rounded). The [int]
+    return crosses module boundaries without boxing — unlike {!now}'s
+    float in builds without cross-module inlining — so per-operation
+    latency middleware can timestamp allocation-free. *)
+val now_ns : t -> int
+
 (** [spawn t f] registers a new process whose body [f] starts executing at
     the current virtual time (or at [at], if given). *)
 val spawn : t -> ?at:float -> (unit -> unit) -> unit

@@ -43,14 +43,24 @@ type 'a t = {
    reads/writes below representation-correct for every ['a]. *)
 let dummy : 'a = Obj.magic 0
 
+(* Invariant: [times.(0) = infinity] whenever the heap is empty (capacity
+   is never 0). This lets [min_time] be a branch-free unboxed load with no
+   float constant in its body — Closure-mode ocamlopt refuses to inline a
+   function whose body contains a structured constant (such as a boxed
+   [infinity]) across modules, and a non-inlined [min_time] boxes its
+   float return on every dispatch. *)
+let initial_capacity = 16
+
 let create () =
+  let times = Array.make initial_capacity 0.0 in
+  times.(0) <- infinity;
   {
-    times = [||];
-    seqs = [||];
-    auxs = [||];
-    slots = [||];
-    values = [||];
-    free = [||];
+    times;
+    seqs = Array.make initial_capacity 0;
+    auxs = Array.make initial_capacity 0;
+    slots = Array.make initial_capacity 0;
+    values = Array.make initial_capacity dummy;
+    free = Array.make initial_capacity 0;
     n_free = 0;
     size = 0;
   }
@@ -60,9 +70,9 @@ let length t = t.size
 let[@inline] is_empty t = t.size = 0
 
 (* Key of the minimum entry, readable without popping and without
-   allocating (callers compare the float directly). *)
-let[@inline] min_time t =
-  if t.size = 0 then infinity else Array.unsafe_get t.times 0
+   allocating (callers compare the float directly; [infinity] when
+   empty, by the emptiness invariant on [times.(0)]). *)
+let[@inline] min_time t = Array.unsafe_get t.times 0
 
 let[@inline] min_seq t = if t.size = 0 then -1 else Array.unsafe_get t.seqs 0
 
@@ -72,7 +82,7 @@ let[@inline] min_aux t =
 
 let grow t =
   let capacity = Array.length t.times in
-  let new_capacity = if capacity = 0 then 16 else capacity * 2 in
+  let new_capacity = capacity * 2 in
   let times = Array.make new_capacity 0.0 in
   let seqs = Array.make new_capacity 0 in
   let auxs = Array.make new_capacity 0 in
@@ -94,25 +104,18 @@ let grow t =
 
 let arity = 4
 
-let push t ~time ~seq ?(aux = 0) value =
-  if t.size = Array.length t.times then grow t;
-  (* Slot bookkeeping: live slots always number [size], so when the free
-     stack is empty, slot [size] is untouched and fresh. *)
-  let slot =
-    if t.n_free > 0 then begin
-      let nf = t.n_free - 1 in
-      t.n_free <- nf;
-      Array.unsafe_get t.free nf
-    end
-    else t.size
-  in
-  Array.unsafe_set t.values slot value;
-  Array.unsafe_set t.auxs slot aux;
+(* Hole-sift the entry freshly written at [i0] toward the root. Out of
+   line because Closure-mode ocamlopt never inlines a function containing
+   a loop — but it takes no float argument: the key is re-read from the
+   unboxed [times] channel, so the caller's [time] never has to cross a
+   call boundary (which would box it). *)
+let sift_up t i0 =
   let times = t.times and seqs = t.seqs in
   let slots = t.slots in
-  (* Sift the hole up, then write the new entry once. *)
-  let i = ref t.size in
-  t.size <- t.size + 1;
+  let time = Array.unsafe_get times i0 in
+  let seq = Array.unsafe_get seqs i0 in
+  let slot = Array.unsafe_get slots i0 in
+  let i = ref i0 in
   let continue = ref true in
   while !continue && !i > 0 do
     let parent = (!i - 1) / arity in
@@ -128,6 +131,65 @@ let push t ~time ~seq ?(aux = 0) value =
   Array.unsafe_set times !i time;
   Array.unsafe_set seqs !i seq;
   Array.unsafe_set slots !i slot
+
+(* Loop-free push prologue, inlinable even without flambda: the [time]
+   float flows straight into an unboxed [float array] store, so an
+   inlined call site pays no boxing at all. The sift itself runs out of
+   line on the flat channels (see [sift_up]). *)
+let[@inline] push_aux t ~time ~seq ~aux value =
+  if t.size = Array.length t.times then grow t;
+  (* Slot bookkeeping: live slots always number [size], so when the free
+     stack is empty, slot [size] is untouched and fresh. *)
+  let slot =
+    if t.n_free > 0 then begin
+      let nf = t.n_free - 1 in
+      t.n_free <- nf;
+      Array.unsafe_get t.free nf
+    end
+    else t.size
+  in
+  Array.unsafe_set t.values slot value;
+  Array.unsafe_set t.auxs slot aux;
+  let i = t.size in
+  t.size <- i + 1;
+  Array.unsafe_set t.times i time;
+  Array.unsafe_set t.seqs i seq;
+  Array.unsafe_set t.slots i slot;
+  if i > 0 then sift_up t i
+
+let[@inline] push t ~time ~seq ?(aux = 0) value =
+  push_aux t ~time ~seq ~aux value
+
+(* Engine dispatch protocol. The engine's clock rides a caller-owned
+   [float array] — cell 0 is "now", cell 1 the run limit — so event times
+   never cross the module boundary as bare floats. That matters because
+   dune's dev profile compiles with [-opaque], which disables cross-module
+   inlining entirely: an ordinary [min_time]/[push ~time] pair would box
+   two floats per dispatched event there, however aggressively the
+   callees are annotated. *)
+
+(* [advance_if_due t clock] : when the heap is nonempty and its min time
+   is within [clock.(1)], write the min time into [clock.(0)] and return
+   [true]; the caller then reads [min_aux] and pops. *)
+let advance_if_due t clock =
+  if t.size = 0 then false
+  else begin
+    let time = Array.unsafe_get t.times 0 in
+    if time <= Array.unsafe_get clock 1 then begin
+      Array.unsafe_set clock 0 time;
+      true
+    end
+    else false
+  end
+
+(* [push_after t ~clock ~after ~seq ~aux v] inserts at [clock.(0) +.
+   after]. The addition happens on this side of the call boundary, so a
+   scheduling site never boxes a freshly computed event time — its
+   [after] argument is typically an already-boxed float it merely
+   forwards (a closure capture or an effect payload). *)
+let push_after t ~clock ~after ~seq ~aux value =
+  assert (after >= 0.0);
+  push_aux t ~time:(Array.unsafe_get clock 0 +. after) ~seq ~aux value
 
 (* Remove the minimum entry and return its payload without allocating.
    Read [min_time]/[min_seq]/[min_aux] first if the key is needed. *)
@@ -147,7 +209,8 @@ let pop_unsafe t =
   Array.unsafe_set t.free nf root_slot;
   t.n_free <- nf + 1;
   t.size <- n;
-  if n > 0 then begin
+  if n = 0 then Array.unsafe_set times 0 infinity
+  else begin
     (* Sift the displaced last entry down from the root as a hole. The
        min-child comparisons are written out inline: the non-flambda
        compiler does not reliably inline a comparison helper here, and an
@@ -206,12 +269,15 @@ let peek_time t = if t.size = 0 then None else Some t.times.(0)
 let clear t =
   (* O(1) reset; dropping the backing arrays also releases the payloads'
      closures to the GC, which matters when a crash discards a large
-     event backlog. *)
-  t.times <- [||];
-  t.seqs <- [||];
-  t.slots <- [||];
-  t.values <- [||];
-  t.auxs <- [||];
-  t.free <- [||];
+     event backlog. Fresh minimal arrays keep the emptiness invariant
+     ([times.(0) = infinity], capacity > 0). *)
+  let times = Array.make initial_capacity 0.0 in
+  times.(0) <- infinity;
+  t.times <- times;
+  t.seqs <- Array.make initial_capacity 0;
+  t.slots <- Array.make initial_capacity 0;
+  t.values <- Array.make initial_capacity dummy;
+  t.auxs <- Array.make initial_capacity 0;
+  t.free <- Array.make initial_capacity 0;
   t.n_free <- 0;
   t.size <- 0

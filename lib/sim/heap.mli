@@ -23,9 +23,34 @@ val is_empty : 'a t -> bool
     occasional capacity doubling. *)
 val push : 'a t -> time:float -> seq:int -> ?aux:int -> 'a -> unit
 
+(** [push_aux] is [push] with the aux channel required. Its prologue is
+    loop-free and inlinable even without flambda, so a call site that
+    computes [time] locally pays no float boxing (the sift runs out of
+    line on the heap's unboxed channels). The engine's dispatch path uses
+    this entry point. *)
+val push_aux : 'a t -> time:float -> seq:int -> aux:int -> 'a -> unit
+
 (** [min_time t] is the key time of the minimum entry, or [infinity] when
-    the heap is empty. Never allocates. *)
+    the heap is empty. Never allocates inside the heap (the float return
+    itself boxes at call sites in builds without cross-module inlining —
+    the dispatch loop uses {!advance_if_due} instead). *)
 val min_time : 'a t -> float
+
+(** [advance_if_due t clock] — engine dispatch protocol. [clock] is a
+    caller-owned float array: cell 0 holds the simulation's "now", cell 1
+    the run limit. When the heap is nonempty and its minimum time is
+    [<= clock.(1)], the minimum time is written into [clock.(0)] and the
+    call returns [true] (read {!min_aux} and pop next). No float crosses
+    the call boundary, so the dispatch loop stays allocation-free even
+    under dune's dev profile ([-opaque], no cross-module inlining). *)
+val advance_if_due : 'a t -> float array -> bool
+
+(** [push_after t ~clock ~after ~seq ~aux v] inserts [v] at time
+    [clock.(0) +. after] — the addition happens inside the heap, so the
+    scheduling call site never boxes a freshly computed event time.
+    [after] must be non-negative. *)
+val push_after :
+  'a t -> clock:float array -> after:float -> seq:int -> aux:int -> 'a -> unit
 
 (** [min_seq t] is the seq of the minimum entry, or [-1] when empty. *)
 val min_seq : 'a t -> int

@@ -1064,6 +1064,69 @@ let test_sweep_hotness_catches_lost_writes () =
   Alcotest.(check bool) "disabled HSIT flush loses acknowledged writes" true
     (report.Crash_sweep.violations <> [])
 
+(* ---- fleet determinism ----
+
+   The [?jobs] paths promise reports (and progress sequences) that are
+   structurally identical to the serial run for any worker count. The
+   reports are plain records of ints/floats/lists, so [=] is the
+   byte-identity the CLI-level [cmp] checks rely on. *)
+
+let test_fleet_explore_deterministic () =
+  let trace jobs =
+    let seen = ref [] in
+    let report =
+      Explore.run ~jobs ~schedules:6
+        ~progress:(fun s -> seen := s :: !seen)
+        { Explore.default with Explore.threads = 3; ops_per_thread = 20 }
+    in
+    (report, List.rev !seen)
+  in
+  let serial = trace 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "explore report+progress identical at jobs=%d" jobs)
+        true
+        (trace jobs = serial))
+    [ 2; 4 ]
+
+let test_fleet_dpor_deterministic () =
+  (* A faulting config (the svc-budget one, known to violate within a
+     small class budget), so the failure lists (class index,
+     found_at_run, choice arrays) are compared too, not just the
+     counters. *)
+  let cfg = svc_budget_cfg in
+  let trace jobs =
+    let seen = ref [] in
+    let report =
+      Explore.run_dpor ~jobs ~max_classes:8
+        ~progress:(fun s -> seen := s :: !seen)
+        cfg
+    in
+    (report, List.rev !seen)
+  in
+  let serial = trace 1 in
+  Alcotest.(check bool) "workload faults under DPOR" true
+    ((fst serial).Explore.dpor_failures <> []);
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "dpor report+progress identical at jobs=%d" jobs)
+        true
+        (trace jobs = serial))
+    [ 2; 4 ]
+
+let test_fleet_sweep_deterministic () =
+  let cfg = { sweep_cfg with Crash_sweep.crash_every = 13 } in
+  let serial = Crash_sweep.run ~jobs:1 cfg in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "crash-sweep report identical at jobs=%d" jobs)
+        true
+        (Crash_sweep.run ~jobs cfg = serial))
+    [ 2; 4 ]
+
 let () =
   Alcotest.run "check"
     [
@@ -1144,5 +1207,11 @@ let () =
           case "hotness dpor classes linearizable" test_dpor_hotness_clean;
           case "hotness recovers every boundary" test_sweep_hotness;
           case "hotness hsit fault caught" test_sweep_hotness_catches_lost_writes;
+        ] );
+      ( "fleet-determinism",
+        [
+          case "explore identical across jobs" test_fleet_explore_deterministic;
+          case "dpor identical across jobs" test_fleet_dpor_deterministic;
+          case "crash-sweep identical across jobs" test_fleet_sweep_deterministic;
         ] );
     ]
