@@ -1,0 +1,386 @@
+(* bench/cluster_sweep: shard-scaling sweep of the Prism cluster.
+
+   For each shard count, run the same YCSB phase against a
+   hash-partitioned cluster (every shard a full Prism store inside one
+   engine, clients routed over the simulated network) with every K-th
+   put upgraded to a multi-key 2PC write batch. Record throughput,
+   latency quantiles, transaction outcomes and network traffic. The
+   claim under test: sharding scales single-key throughput while the
+   cross-shard commit rate — prepares, network round trips — grows with
+   the shard count, the coordination tax the sweep makes visible.
+
+     dune exec bench/cluster_sweep.exe --                  default sweep
+     dune exec bench/cluster_sweep.exe -- --quick          CI-sized
+     dune exec bench/cluster_sweep.exe -- --shard-counts 1,2,4 \
+         --txn-every 8 --json cluster.json
+
+   Everything is virtual time, so a given --seed reproduces the sweep —
+   including the JSON — byte-identically for any --jobs. *)
+
+open Prism_sim
+open Prism_harness
+open Prism_workload
+
+let pf fmt = Printf.printf fmt
+
+(* ---------------------------------------------------------------- *)
+(* Configuration                                                     *)
+(* ---------------------------------------------------------------- *)
+
+type config = {
+  shard_counts : int list;
+  txn_every : int; (* every K-th put becomes a 3-key 2PC batch; 0 = none *)
+  mix : Ycsb.mix;
+  records : int;
+  value_size : int;
+  threads : int;
+  theta : float;
+  ops : int;
+  seed : int64;
+}
+
+let default_config =
+  {
+    shard_counts = [ 1; 2; 4 ];
+    txn_every = 8;
+    mix = Ycsb.ycsb_a;
+    records = 8_000;
+    value_size = 256;
+    threads = 4;
+    theta = 0.99;
+    ops = 20_000;
+    seed = 0xC0FFEEL;
+  }
+
+let quick_config =
+  { default_config with shard_counts = [ 1; 2 ]; records = 4_000; ops = 8_000 }
+
+(* ---------------------------------------------------------------- *)
+(* One cell: shard count -> measurements                             *)
+(* ---------------------------------------------------------------- *)
+
+type cell = {
+  shards : int;
+  kops : float;
+  p50_us : float;
+  p99_us : float;
+  commits : int;
+  aborts : int;
+  prepares : int;
+  routed : int; (* single-key ops routed over the network *)
+  net_msgs : int;
+  net_bytes : int;
+}
+
+let run_cell cfg ~shards =
+  let e = Engine.create () in
+  let s =
+    {
+      Setup.default_scenario with
+      records = cfg.records;
+      value_size = cfg.value_size;
+      threads = cfg.threads;
+      theta = cfg.theta;
+      ops = cfg.ops;
+      seed = cfg.seed;
+    }
+  in
+  (* Prepare records carry the batch's writes, and nothing truncates the
+     logs mid-run, so size them for the whole phase: every batch may land
+     all three writes on one shard (with key + length framing), 2x slack. *)
+  let plog_size =
+    let batches = (cfg.ops / max 1 cfg.txn_every) + 1 in
+    max (1 lsl 20) (batches * 3 * (cfg.value_size + 64) * 2)
+  in
+  let ccfg =
+    {
+      Prism_cluster.Cluster.default with
+      Prism_cluster.Cluster.shards;
+      plog_size;
+      seed = cfg.seed;
+    }
+  in
+  let cluster, base_kv = Prism_cluster.Cluster.of_scenario e ccfg s in
+  (* Mirror prism_ycsb --txn-every: every K-th put carries two extra
+     uniform-random keys through Cluster.batch, so the measured phase
+     commits cross-shard transactions at a fixed rate. *)
+  let base_kv =
+    if cfg.txn_every <= 0 then base_kv
+    else begin
+      let count = ref 0 in
+      let rng = Rng.create (Int64.add cfg.seed 0x7cL) in
+      {
+        base_kv with
+        Kv.put =
+          (fun ~tid key value ->
+            incr count;
+            if !count mod cfg.txn_every = 0 then
+              let extras =
+                List.init 2 (fun _ ->
+                    (Ycsb.key_of (Rng.int rng cfg.records), value))
+              in
+              match
+                Prism_cluster.Cluster.batch cluster ~tid
+                  ((key, value) :: extras)
+              with
+              | Prism_cluster.Cluster.Committed
+              | Prism_cluster.Cluster.Aborted ->
+                  ()
+            else base_kv.Kv.put ~tid key value);
+      }
+    end
+  in
+  let kv = Kv.instrument e base_kv in
+  ignore
+    (Runner.load e kv ~threads:cfg.threads ~records:cfg.records
+       ~value_size:cfg.value_size ~seed:cfg.seed);
+  let r =
+    Runner.run e kv cfg.mix ~threads:cfg.threads ~records:cfg.records
+      ~ops:cfg.ops ~theta:cfg.theta ~value_size:cfg.value_size ~seed:cfg.seed
+  in
+  let gi = Stats.get_int (Engine.stats e) in
+  let commits, aborts, prepares =
+    Prism_cluster.Cluster.txn_stats cluster
+  in
+  {
+    shards;
+    kops = r.Runner.kops;
+    p50_us = Hist.us_of_ns (Hist.quantile r.Runner.latency 50.0);
+    p99_us = Hist.us_of_ns (Hist.quantile r.Runner.latency 99.0);
+    commits;
+    aborts;
+    prepares;
+    routed = gi "prism.cluster.ops.routed";
+    net_msgs = gi "net.msgs";
+    net_bytes = gi "net.bytes";
+  }
+
+(* One fleet job per shard count; merged in shard order so tables,
+   progress lines and JSON stay byte-identical for any --jobs. *)
+let run_points cfg ~jobs =
+  let counts = Array.of_list cfg.shard_counts in
+  let n = Array.length counts in
+  let cells =
+    Prism_fleet.Fleet.with_pool ~jobs:(min jobs n) (fun pool ->
+        Prism_fleet.Fleet.map pool n (fun i ->
+            run_cell cfg ~shards:counts.(i)))
+  in
+  List.init n (fun k ->
+      let c = cells.(k) in
+      pf "  %d shard%s done (%.0f kops, %d txns committed)\n%!" c.shards
+        (if c.shards = 1 then "" else "s")
+        c.kops c.commits;
+      c)
+
+(* ---------------------------------------------------------------- *)
+(* Reporting                                                         *)
+(* ---------------------------------------------------------------- *)
+
+let print_table points =
+  Report.table ~title:"Cluster sweep: shard scaling under 2PC write batches"
+    ~columns:
+      [
+        "shards"; "kops/s"; "p50 us"; "p99 us"; "commits"; "aborts";
+        "prepares"; "routed"; "net msgs"; "net KB";
+      ]
+    (List.map
+       (fun c ->
+         [
+           string_of_int c.shards;
+           Printf.sprintf "%.1f" c.kops;
+           Printf.sprintf "%.1f" c.p50_us;
+           Printf.sprintf "%.1f" c.p99_us;
+           string_of_int c.commits;
+           string_of_int c.aborts;
+           string_of_int c.prepares;
+           string_of_int c.routed;
+           string_of_int c.net_msgs;
+           string_of_int (c.net_bytes / 1024);
+         ])
+       points)
+
+(* The claim the sweep exists to check: every acked batch committed or
+   aborted cleanly (2PC never wedges), and prepares scale with the
+   participant count — more shards, more coordination. *)
+let print_verdict cfg points =
+  match points with
+  | [] -> ()
+  | first :: _ ->
+      let last = List.nth points (List.length points - 1) in
+      let expected_txns =
+        if cfg.txn_every <= 0 then 0
+        else
+          (* Runner.run issues one put per update in the mix. *)
+          List.fold_left (fun acc c -> max acc (c.commits + c.aborts)) 0
+            points
+      in
+      let all_resolved =
+        List.for_all
+          (fun c ->
+            cfg.txn_every <= 0 || c.commits + c.aborts = expected_txns)
+          points
+      in
+      let coordination_grows =
+        List.length points < 2 || last.prepares >= first.prepares
+      in
+      pf "  cluster: %d..%d shards, prepares %d -> %d, %s\n" first.shards
+        last.shards first.prepares last.prepares
+        (if all_resolved then "every batch resolved"
+         else "TXN COUNTS DIVERGE across shard counts");
+      if all_resolved && coordination_grows then
+        pf "  cluster: verdict PASS (2PC resolved; coordination scales)\n"
+      else pf "  cluster: verdict FAIL\n"
+
+(* ---------------------------------------------------------------- *)
+(* JSON export                                                       *)
+(* ---------------------------------------------------------------- *)
+
+(* Hand-rolled like Stats.to_json: fixed field order, fixed float
+   formats, so the same seed writes byte-identical output. *)
+let json_of_points cfg points =
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n";
+  add "  \"schema\": \"prism-cluster-v1\",\n";
+  add "  \"seed\": %Ld,\n" cfg.seed;
+  add "  \"mix\": %S,\n" cfg.mix.Ycsb.name;
+  add "  \"records\": %d,\n" cfg.records;
+  add "  \"value_size\": %d,\n" cfg.value_size;
+  add "  \"threads\": %d,\n" cfg.threads;
+  add "  \"theta\": %.4f,\n" cfg.theta;
+  add "  \"ops\": %d,\n" cfg.ops;
+  add "  \"txn_every\": %d,\n" cfg.txn_every;
+  add "  \"points\": [";
+  List.iteri
+    (fun i c ->
+      if i > 0 then add ",";
+      add "\n    { \"shards\": %d, \"kops\": %.3f" c.shards c.kops;
+      add ", \"p50_us\": %.3f, \"p99_us\": %.3f" c.p50_us c.p99_us;
+      add ", \"txn_commits\": %d, \"txn_aborts\": %d" c.commits c.aborts;
+      add ", \"txn_prepares\": %d, \"ops_routed\": %d" c.prepares c.routed;
+      add ", \"net_msgs\": %d, \"net_bytes\": %d }" c.net_msgs c.net_bytes)
+    points;
+  add "\n  ]\n}\n";
+  Buffer.contents b
+
+(* ---------------------------------------------------------------- *)
+(* CLI                                                               *)
+(* ---------------------------------------------------------------- *)
+
+let () =
+  let open Cmdliner in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"CI-sized sweep: 2 shard counts, smaller run")
+  in
+  let shard_counts =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "shard-counts" ] ~doc:"Comma-separated shard counts")
+  in
+  let txn_every =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "txn-every" ] ~docv:"K"
+          ~doc:"Every $(docv)-th put becomes a 3-key 2PC batch; 0 disables")
+  in
+  let mix =
+    Arg.(
+      value & opt string "a"
+      & info [ "mix" ] ~doc:"Workload mix: a|b|c|d|e|nutanix")
+  in
+  let records =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "records" ] ~doc:"Dataset size in keys")
+  in
+  let ops =
+    Arg.(
+      value & opt (some int) None & info [ "ops" ] ~doc:"Operations per cell")
+  in
+  let threads =
+    Arg.(
+      value & opt (some int) None & info [ "threads" ] ~doc:"Client threads")
+  in
+  let seed =
+    Arg.(value & opt int64 0xC0FFEEL & info [ "seed" ] ~doc:"Sweep seed")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~doc:"Write the sweep as JSON to $(docv)" ~docv:"FILE")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains running sweep cells. Output is byte-identical \
+             for any $(docv); 0 means one per core.")
+  in
+  let main quick shard_counts txn_every mix records ops threads seed json jobs
+      =
+    let base = if quick then quick_config else default_config in
+    let mix =
+      match
+        List.find_opt
+          (fun m ->
+            String.lowercase_ascii m.Ycsb.name = String.lowercase_ascii mix)
+          (Ycsb.all_ycsb @ [ Ycsb.nutanix ])
+      with
+      | Some m -> m
+      | None -> failwith ("unknown mix: " ^ mix)
+    in
+    let cfg =
+      {
+        base with
+        shard_counts =
+          (match shard_counts with
+          | Some s ->
+              String.split_on_char ',' s
+              |> List.map (fun x -> int_of_string (String.trim x))
+          | None -> base.shard_counts);
+        txn_every = Option.value txn_every ~default:base.txn_every;
+        mix;
+        records = Option.value records ~default:base.records;
+        ops = Option.value ops ~default:base.ops;
+        threads = Option.value threads ~default:base.threads;
+        seed;
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    Report.section
+      (Printf.sprintf
+         "Cluster shard-sweep: mix %s, %d keys x %dB, %d threads, %d \
+          ops/cell, txn every %d"
+         cfg.mix.Ycsb.name cfg.records cfg.value_size cfg.threads cfg.ops
+         cfg.txn_every);
+    let jobs =
+      if jobs = 0 then Prism_fleet.Fleet.default_jobs () else max 1 jobs
+    in
+    let points = run_points cfg ~jobs in
+    print_table points;
+    print_verdict cfg points;
+    (match json with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (json_of_points cfg points);
+        close_out oc;
+        pf "\nwrote cluster sweep to %s\n" path
+    | None -> ());
+    pf "\nSweep done in %.1fs wall.\n" (Unix.gettimeofday () -. t0)
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "prism-cluster-sweep"
+         ~doc:"Shard-scaling sweep of the 2PC Prism cluster")
+      Term.(
+        const main $ quick $ shard_counts $ txn_every $ mix $ records $ ops
+        $ threads $ seed $ json $ jobs)
+  in
+  exit (Cmd.eval cmd)

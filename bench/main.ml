@@ -41,6 +41,16 @@ let full_scenario =
 
 let scenario = ref small_scenario
 
+(* --jobs: fleet lanes for the experiments whose cells are independent
+   whole simulations (fig7, fig9, fig12). Cells return pure results and
+   all printing happens on the coordinator in cell order, so the output
+   is byte-identical for any lane count. *)
+let jobs = ref 1
+
+let fleet_map n f =
+  Prism_fleet.Fleet.with_pool ~jobs:(min !jobs n) (fun pool ->
+      Prism_fleet.Fleet.map pool n f)
+
 (* ---------------------------------------------------------------- *)
 (* Helpers                                                           *)
 (* ---------------------------------------------------------------- *)
@@ -65,13 +75,20 @@ let stats_json_path : string option ref = ref None
 
 let collected_stats : (string * string) list ref = ref []
 
-let harvest label e =
-  if !stats_requested || !stats_json_path <> None then begin
-    let reg = Engine.stats e in
-    Stats.register_gc reg;
-    collected_stats := (label, Stats.to_json reg) :: !collected_stats;
-    if !stats_requested then Format.printf "  [%s registry]@.%a@." label Stats.pp reg
-  end
+(* Harvesting is split so fleet cells can capture the registry on the
+   worker and the coordinator can emit it in deterministic cell order. *)
+let harvest_blob label e =
+  if !stats_requested || !stats_json_path <> None then Some (label, Engine.stats e)
+  else None
+
+let emit_harvest = function
+  | None -> ()
+  | Some (label, reg) ->
+      Stats.register_gc reg;
+      collected_stats := (label, Stats.to_json reg) :: !collected_stats;
+      if !stats_requested then Format.printf "  [%s registry]@.%a@." label Stats.pp reg
+
+let harvest label e = emit_harvest (harvest_blob label e)
 
 let write_collected_stats () =
   match !stats_json_path with
@@ -207,16 +224,19 @@ let fig7 () =
       ("RocksDB-NVM", fun e -> Setup.rocksdb_nvm e s);
     ]
   in
+  let makers = Array.of_list makers in
   let all =
-    List.map
-      (fun (name, make) ->
+    fleet_map (Array.length makers) (fun i ->
+        let name, make = makers.(i) in
         let e = Engine.create () in
         let kv = make e in
         let load, results = ycsb_suite e kv s in
-        harvest ("fig7." ^ Stats.sanitize name) e;
-        pf "  %s done\n%!" name;
-        (name, load, results))
-      makers
+        (name, load, results, harvest_blob ("fig7." ^ Stats.sanitize name) e))
+    |> Array.to_list
+    |> List.map (fun (name, load, results, blob) ->
+           emit_harvest blob;
+           pf "  %s done\n%!" name;
+           (name, load, results))
   in
   Report.table ~title:"Throughput (kops/s; workload E in kops/s of scans)"
     ~columns:[ "Store"; "LOAD"; "A"; "B"; "C"; "D"; "E" ]
@@ -325,41 +345,51 @@ let fig9 () =
         fun e -> Setup.slmdb e { s with Setup.records = s.Setup.records / 4 } );
     ]
   in
-  List.iter
-    (fun (name, make) ->
-      let single = name = "SLM-DB" in
-      let s =
-        if single then
-          {
-            s with
-            Setup.threads = 1;
-            records = s.Setup.records / 4;
-            ops = s.Setup.ops / 4;
-            scan_ops = s.Setup.scan_ops / 4;
-          }
-        else s
-      in
-      (* One loaded store per theta (the skew affects the run phase). *)
-      let rows =
+  (* One loaded store per (store, theta) cell — the skew affects the run
+     phase — so every cell is an independent simulation, farmed out. *)
+  let cells =
+    List.concat_map
+      (fun (name, make) ->
+        let single = name = "SLM-DB" in
+        let s =
+          if single then
+            {
+              s with
+              Setup.threads = 1;
+              records = s.Setup.records / 4;
+              ops = s.Setup.ops / 4;
+              scan_ops = s.Setup.scan_ops / 4;
+            }
+          else s
+        in
+        List.map (fun theta -> (name, make, s, theta)) thetas)
+      makers
+    |> Array.of_list
+  in
+  let cell_rows =
+    fleet_map (Array.length cells) (fun i ->
+        let _, make, s, theta = cells.(i) in
+        let e = Engine.create () in
+        let kv = make e in
+        ignore
+          (Runner.load e kv ~threads:s.Setup.threads ~records:s.Setup.records
+             ~value_size:s.Setup.value_size ~seed:s.Setup.seed);
         List.map
-          (fun theta ->
-            let e = Engine.create () in
-            let kv = make e in
-            ignore
-              (Runner.load e kv ~threads:s.Setup.threads
-                 ~records:s.Setup.records ~value_size:s.Setup.value_size
-                 ~seed:s.Setup.seed);
-            List.map
-              (fun mix ->
-                let r =
-                  Runner.run e kv mix ~threads:s.Setup.threads
-                    ~records:s.Setup.records ~ops:(ops_for s mix) ~theta
-                    ~value_size:s.Setup.value_size ~seed:s.Setup.seed
-                in
-                quiesce_in e kv;
-                r.Runner.kops)
-              Ycsb.all_ycsb)
-          thetas
+          (fun mix ->
+            let r =
+              Runner.run e kv mix ~threads:s.Setup.threads
+                ~records:s.Setup.records ~ops:(ops_for s mix) ~theta
+                ~value_size:s.Setup.value_size ~seed:s.Setup.seed
+            in
+            quiesce_in e kv;
+            r.Runner.kops)
+          Ycsb.all_ycsb)
+  in
+  let nthetas = List.length thetas in
+  List.iteri
+    (fun mi (name, _) ->
+      let rows =
+        List.mapi (fun ti _ -> cell_rows.((mi * nthetas) + ti)) thetas
       in
       (* Normalize to theta = 0.99 (third entry). *)
       let baseline = List.nth rows 2 in
@@ -489,55 +519,75 @@ let fig11 () =
 let fig12 () =
   let base = !scenario in
   Report.section "Figure 12: SSD write amplification vs Zipfian skew";
-  List.iter
-    (fun value_size ->
-      let s =
-        {
-          base with
-          Setup.value_size;
-          records = base.Setup.records / 2;
-          ops = base.Setup.ops * 2;
-        }
-      in
-      let rows =
-        List.map
-          (fun (name, make) ->
-            let cells =
-              List.map
-                (fun theta ->
-                  let e = Engine.create () in
-                  let kv : Kv.t = make e in
-                  ignore
-                    (Runner.load e kv ~threads:s.Setup.threads
-                       ~records:s.Setup.records ~value_size:s.Setup.value_size
-                       ~seed:s.Setup.seed);
-                  quiesce_in e kv;
-                  let before = ssd_written e kv in
-                  let update_only = { Ycsb.ycsb_a with reads = 0.0; updates = 1.0 } in
-                  let r =
-                    Runner.run e kv update_only ~threads:s.Setup.threads
-                      ~records:s.Setup.records ~ops:s.Setup.ops ~theta
-                      ~value_size:s.Setup.value_size ~seed:s.Setup.seed
-                  in
-                  quiesce_in e kv;
-                  let written = ssd_written e kv - before in
-                  let app = r.Runner.ops * s.Setup.value_size in
-                  Printf.sprintf "%.2f" (float_of_int written /. float_of_int app))
-                [ 0.5; 0.99; 1.2 ]
+  let value_sizes = [ 512; 1024 ] in
+  let store_names = [ "Prism"; "KVell"; "MatrixKV" ] in
+  let thetas = [ 0.5; 0.99; 1.2 ] in
+  (* Every (value size, store, theta) cell is an independent loaded
+     store, so the whole grid is farmed as one flat job list. *)
+  let cells =
+    List.concat_map
+      (fun value_size ->
+        let s =
+          {
+            base with
+            Setup.value_size;
+            records = base.Setup.records / 2;
+            ops = base.Setup.ops * 2;
+          }
+        in
+        List.concat_map
+          (fun name ->
+            let make =
+              match name with
+              | "Prism" -> fun e -> fst (Setup.prism e s)
+              | "KVell" -> fun e -> Setup.kvell e s
+              | _ -> fun e -> Setup.matrixkv e s
             in
-            name :: cells)
-          [
-            ("Prism", fun e -> fst (Setup.prism e s));
-            ("KVell", fun e -> Setup.kvell e s);
-            ("MatrixKV", fun e -> Setup.matrixkv e s);
-          ]
+            List.map (fun theta -> (make, s, theta)) thetas)
+          store_names)
+      value_sizes
+    |> Array.of_list
+  in
+  let waf =
+    fleet_map (Array.length cells) (fun i ->
+        let make, s, theta = cells.(i) in
+        let e = Engine.create () in
+        let kv : Kv.t = make e in
+        ignore
+          (Runner.load e kv ~threads:s.Setup.threads ~records:s.Setup.records
+             ~value_size:s.Setup.value_size ~seed:s.Setup.seed);
+        quiesce_in e kv;
+        let before = ssd_written e kv in
+        let update_only = { Ycsb.ycsb_a with reads = 0.0; updates = 1.0 } in
+        let r =
+          Runner.run e kv update_only ~threads:s.Setup.threads
+            ~records:s.Setup.records ~ops:s.Setup.ops ~theta
+            ~value_size:s.Setup.value_size ~seed:s.Setup.seed
+        in
+        quiesce_in e kv;
+        let written = ssd_written e kv - before in
+        let app = r.Runner.ops * s.Setup.value_size in
+        Printf.sprintf "%.2f" (float_of_int written /. float_of_int app))
+  in
+  let nthetas = List.length thetas in
+  let per_store = List.length store_names * nthetas in
+  List.iteri
+    (fun vi value_size ->
+      let rows =
+        List.mapi
+          (fun si name ->
+            name
+            :: List.mapi
+                 (fun ti _ -> waf.((vi * per_store) + (si * nthetas) + ti))
+                 thetas)
+          store_names
       in
       Report.table
         ~title:(Printf.sprintf "SSD-level WAF, %dB values" value_size)
         ~columns:[ "Store"; "Zipf 0.5"; "Zipf 0.99"; "Zipf 1.2" ]
         rows;
       pf "  %dB done\n%!" value_size)
-    [ 512; 1024 ]
+    value_sizes
 
 (* ---------------------------------------------------------------- *)
 (* Figures 13/14: scaling the number of SSDs                          *)
@@ -1126,7 +1176,17 @@ let () =
             "Tune the host GC for simulation workloads (large minor heap); \
              wall-clock only, virtual-time results are unaffected")
   in
-  let main exp scale with_micro stats stats_json gc_tune =
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ]
+          ~doc:
+            "Fleet lanes for the independent-cell experiments (fig7, fig9, \
+             fig12). Output is byte-identical for any $(docv); 0 means one \
+             per core"
+          ~docv:"N")
+  in
+  let main exp scale with_micro stats stats_json gc_tune j =
     (match scale with
     | "full" -> scenario := full_scenario
     | "small" -> scenario := small_scenario
@@ -1134,11 +1194,14 @@ let () =
     if gc_tune then Setup.gc_tune ();
     stats_requested := stats;
     stats_json_path := stats_json;
+    jobs := (if j = 0 then Prism_fleet.Fleet.default_jobs () else max 1 j);
     run_experiments exp with_micro
   in
   let cmd =
     Cmd.v
       (Cmd.info "prism-bench" ~doc:"Regenerate the paper's tables and figures")
-      Term.(const main $ exp $ scale $ with_micro $ stats $ stats_json $ gc_tune)
+      Term.(
+        const main $ exp $ scale $ with_micro $ stats $ stats_json $ gc_tune
+        $ jobs_arg)
   in
   exit (Cmd.eval cmd)

@@ -237,9 +237,11 @@ let bench_instrument ~ops ~reps =
    fleet.speedup abuses the sample shape: its "rate" is the wall-clock
    ratio serial/2-domain on a fleet of independent schedule runs. On a
    single-core host the domains time-share and the ratio sits near 1.0;
-   on multicore it approaches 2. The committed baseline floor is set
-   for the single-core case, so only a real fleet regression — lock
-   contention, lost work, serialization — trips the gate anywhere. *)
+   on multicore it approaches 2. The committed baseline floor (1.1)
+   expects the multi-core CI runner to actually beat serial; the gate's
+   30% slack still tolerates a time-shared single core near parity, so
+   only a real fleet regression — lock contention, lost work,
+   serialization — trips the gate anywhere. *)
 let bench_fleet ~quick ~reps =
   let open Prism_check in
   let cfg =
@@ -399,15 +401,22 @@ let scan_number ~key text =
    store.prism, whose baseline is conservative enough to absorb the
    noise and which guards the static-placement dispatch on the put/get
    hot path staying free. *)
-let gated_keys =
+let gated_keys () =
   [
     "engine_dispatch_per_sec";
     "engine_process_per_sec";
     "arrival_poisson_per_sec";
     "store_prism_per_sec";
     "fleet_dpor_per_sec";
-    "fleet_speedup_per_sec";
   ]
+  (* The speedup ratio only measures anything when two domains can
+     actually run in parallel; on a single-core host it reads the cost
+     of time-sharing (~0.5) and gating it would reject every healthy
+     run. The floor (1.1, i.e. the fleet must beat serial) applies on
+     the multi-core CI runners. *)
+  @ (if Domain.recommended_domain_count () >= 2 then
+       [ "fleet_speedup_per_sec" ]
+     else [])
 
 let check_baseline path =
   let ic = open_in path in
@@ -440,7 +449,7 @@ let check_baseline path =
               else
                 pf "baseline gate ok: %s %.0f /s (baseline %.0f /s)\n" key
                   s.rate base))
-    gated_keys;
+    (gated_keys ());
   if !failed then exit 1
 
 (* ---------------------------------------------------------------- *)

@@ -29,15 +29,31 @@ let fault_name = function
   | Explore.Scan_stale_snapshot -> "scan-stale"
   | Explore.Scan_skip_pwb -> "scan-skip-pwb"
   | Explore.Scan_drop_key -> "scan-drop"
+  | Explore.Skip_2pc_log_flush -> "2pc-ack"
 
 let scan_check_name cfg =
   match cfg.Explore.scan_check with `Strict -> "strict" | `Weak -> "weak"
+
+let explore_store_name cfg =
+  match cfg.Explore.store with
+  | `Kvell -> "kvell"
+  | `Prism ->
+      if cfg.Explore.shards > 1 || cfg.Explore.txn_every > 0 then
+        Printf.sprintf "prism cluster (%d shards, txn every %d)"
+          cfg.Explore.shards cfg.Explore.txn_every
+      else "prism"
 
 (* Replay hints must reproduce the checking setup, not just the schedule. *)
 let fault_suffix cfg =
   (match cfg.Explore.fault with
   | Explore.No_fault -> ""
   | f -> " --fault " ^ fault_name f)
+  ^ (if cfg.Explore.shards > 1 then
+       Printf.sprintf " --shards %d" cfg.Explore.shards
+     else "")
+  ^ (if cfg.Explore.txn_every > 0 then
+       Printf.sprintf " --txn-every %d" cfg.Explore.txn_every
+     else "")
   ^ match cfg.Explore.scan_check with `Weak -> " --scan-weak" | `Strict -> ""
 
 let run_explore ~schedules ~cfg ~verbose ~jobs =
@@ -45,9 +61,7 @@ let run_explore ~schedules ~cfg ~verbose ~jobs =
     "exploring %d schedules: %s, %d threads x %d ops over %d keys, seed \
      0x%Lx, fault %s, %s scans\n\
      %!"
-    schedules
-    (match cfg.Explore.store with `Prism -> "prism" | `Kvell -> "kvell")
-    cfg.Explore.threads cfg.Explore.ops_per_thread cfg.Explore.records
+    schedules (explore_store_name cfg) cfg.Explore.threads cfg.Explore.ops_per_thread cfg.Explore.records
     cfg.Explore.seed
     (fault_name cfg.Explore.fault)
     (scan_check_name cfg);
@@ -96,9 +110,7 @@ let run_dpor ~max_classes ~cfg ~verbose ~jobs =
     "DPOR: up to %d interleaving classes: %s, %d threads x %d ops over %d \
      keys, seed 0x%Lx, fault %s, %s scans\n\
      %!"
-    max_classes
-    (match cfg.Explore.store with `Prism -> "prism" | `Kvell -> "kvell")
-    cfg.Explore.threads cfg.Explore.ops_per_thread cfg.Explore.records
+    max_classes (explore_store_name cfg) cfg.Explore.threads cfg.Explore.ops_per_thread cfg.Explore.records
     cfg.Explore.seed
     (fault_name cfg.Explore.fault)
     (scan_check_name cfg);
@@ -178,16 +190,24 @@ let run_sweep ~cfg ~verbose ~jobs =
     (match cfg.Crash_sweep.store with
     | `Prism -> "prism"
     | `Kvell -> "kvell"
+    | `Cluster ->
+        Printf.sprintf "prism cluster (%d shards, txn every %d)"
+          cfg.Crash_sweep.shards cfg.Crash_sweep.txn_every
     | `Lsm -> if cfg.Crash_sweep.lsm_wal then "lsm" else "lsm (WAL disabled!)")
     cfg.Crash_sweep.crash_every
     (match cfg.Crash_sweep.store with
     | `Prism | `Lsm -> "th durability"
+    | `Cluster -> "th 2PC log-persist"
     | `Kvell -> "th-event time-grid")
     cfg.Crash_sweep.threads cfg.Crash_sweep.ops_per_thread
     cfg.Crash_sweep.seed
-    (if cfg.Crash_sweep.fault_skip_hsit_flush then
-       " (HSIT flush disabled!)"
-     else "")
+    ((if cfg.Crash_sweep.fault_skip_hsit_flush then
+        " (HSIT flush disabled!)"
+      else "")
+    ^
+    if cfg.Crash_sweep.fault_skip_log_flush then
+      " (commit-record flush disabled!)"
+    else "")
   ;
   let progress ~boundary ~crash_point =
     if verbose then
@@ -226,7 +246,7 @@ let parse_choices s =
 
 let main store placement seed schedules dpor crash_every replay
     replay_choices shrink no_lsm_wal fault scan_weak scan_every delete_every
-    threads ops records keys_per_thread jobs verbose =
+    threads ops records keys_per_thread shards txn_every jobs verbose =
   let jobs =
     if jobs = 0 then Prism_fleet.Fleet.default_jobs () else max 1 jobs
   in
@@ -246,10 +266,11 @@ let main store placement seed schedules dpor crash_every replay
     | "scan-stale" -> Explore.Scan_stale_snapshot
     | "scan-skip-pwb" -> Explore.Scan_skip_pwb
     | "scan-drop" -> Explore.Scan_drop_key
+    | "2pc-ack" -> Explore.Skip_2pc_log_flush
     | other ->
         Printf.eprintf
           "unknown --fault %S (use \
-           none|svc|hsit|scan-stale|scan-skip-pwb|scan-drop)\n"
+           none|svc|hsit|scan-stale|scan-skip-pwb|scan-drop|2pc-ack)\n"
           other;
         exit 2
   in
@@ -258,13 +279,30 @@ let main store placement seed schedules dpor crash_every replay
     | "prism" -> `Prism
     | "kvell" -> `Kvell
     | "lsm" -> `Lsm
+    | "cluster" -> `Cluster
     | other ->
-        Printf.eprintf "unknown --store %S (use prism|kvell|lsm)\n" other;
+        Printf.eprintf
+          "unknown --store %S (use prism|kvell|lsm|cluster)\n" other;
         exit 2
   in
+  (* --store cluster defaults to 2 shards; --shards > 1 on prism implies
+     the cluster. Either way every sub-command sees the same topology. *)
+  let shards =
+    if shards > 0 then shards else if store = `Cluster then 2 else 1
+  in
+  let store = if store = `Prism && shards > 1 then `Cluster else store in
+  let txn_every =
+    if txn_every >= 0 then txn_every
+    else if store = `Cluster then Crash_sweep.default.Crash_sweep.txn_every
+    else 0
+  in
+  if store = `Kvell && (shards > 1 || txn_every > 0) then begin
+    Printf.eprintf "--shards/--txn-every need the prism-backed cluster\n";
+    exit 2
+  end;
   let explore_store =
     match store with
-    | `Prism -> `Prism
+    | `Prism | `Cluster -> `Prism
     | `Kvell -> `Kvell
     | `Lsm ->
         (* The LSM adapter acknowledges deletes unconditionally, which
@@ -292,6 +330,8 @@ let main store placement seed schedules dpor crash_every replay
       delete_every = max 1 delete_every;
       scan_check = (if scan_weak then `Weak else `Strict);
       fault;
+      shards;
+      txn_every;
       seed;
     }
   in
@@ -306,6 +346,9 @@ let main store placement seed schedules dpor crash_every replay
       crash_every = max 1 crash_every;
       fault_skip_hsit_flush = fault = Explore.Skip_hsit_flush;
       lsm_wal = not no_lsm_wal;
+      shards;
+      txn_every;
+      fault_skip_log_flush = fault = Explore.Skip_2pc_log_flush;
       seed;
     }
   in
@@ -356,8 +399,9 @@ open Cmdliner
 
 let store =
   Arg.(value & opt string "prism" & info [ "store" ] ~docv:"STORE"
-         ~doc:"Store to check: $(b,prism), $(b,kvell), or $(b,lsm) (crash \
-               sweep only).")
+         ~doc:"Store to check: $(b,prism), $(b,kvell), $(b,lsm) (crash \
+               sweep only), or $(b,cluster) (hash-partitioned Prism shards \
+               behind the 2PC coordinator; defaults to 2 shards).")
 
 let placement =
   Arg.(value & opt string "static" & info [ "placement" ] ~docv:"POLICY"
@@ -417,9 +461,12 @@ let fault =
                invalidation; breaks linearizability), $(b,hsit) (skip \
                pointer persists; loses acknowledged writes across crashes), \
                $(b,scan-stale) (serve repeat scans from a stale snapshot), \
-               $(b,scan-skip-pwb) (scans miss write-buffered values), or \
-               $(b,scan-drop) (scans drop an in-range key). The three scan \
-               faults are invisible to $(b,--scan-weak) checking.")
+               $(b,scan-skip-pwb) (scans miss write-buffered values), \
+               $(b,scan-drop) (scans drop an in-range key), or \
+               $(b,2pc-ack) (cluster commit records skip their persist, so \
+               acks race durability; only the crash sweep can see it). The \
+               three scan faults are invisible to $(b,--scan-weak) \
+               checking.")
 
 let scan_weak =
   Arg.(value & flag
@@ -457,6 +504,19 @@ let keys_per_thread =
   Arg.(value & opt int 24 & info [ "keys-per-thread" ] ~docv:"KEYS"
          ~doc:"Keys owned by each thread in the crash sweep.")
 
+let shards =
+  Arg.(value & opt int 0 & info [ "shards" ] ~docv:"N"
+         ~doc:"Partition the keyspace across $(docv) Prism shards behind \
+               the 2PC coordinator ($(docv) > 1 implies \
+               $(b,--store cluster)). $(b,0) keeps the single-store \
+               default.")
+
+let txn_every =
+  Arg.(value & opt int (-1) & info [ "txn-every" ] ~docv:"K"
+         ~doc:"Every $(docv)-th update becomes a multi-key 2PC write batch \
+               (cluster only; $(b,0) disables batches). Defaults to 4 when \
+               the cluster is selected.")
+
 let jobs =
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
          ~doc:"Worker domains for schedule exploration, DPOR, and the \
@@ -478,7 +538,7 @@ let cmd =
       const main $ store $ placement $ seed $ schedules $ dpor $ crash_every
       $ replay
       $ replay_choices $ shrink $ no_lsm_wal $ fault $ scan_weak $ scan_every
-      $ delete_every $ threads $ ops $ records $ keys_per_thread $ jobs
-      $ verbose)
+      $ delete_every $ threads $ ops $ records $ keys_per_thread $ shards
+      $ txn_every $ jobs $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -183,8 +183,8 @@ let run_scenario make engine kv ~ename ~records ~value_size ~threads ~theta
     (if Assertion.passed verdicts then "pass" else "FAIL")
 
 let run store_name placement workloads scenario_arg records value_size
-    threads num_ssds theta ops open_loop arrival policy servers trace_out
-    trace_in stats stats_json chrome_trace gc_tune =
+    threads num_ssds theta ops shards txn_every open_loop arrival policy
+    servers trace_out trace_in stats stats_json chrome_trace gc_tune =
   if gc_tune then Setup.gc_tune ();
   let scenario =
     {
@@ -198,18 +198,37 @@ let run store_name placement workloads scenario_arg records value_size
       scan_ops = max 1 (ops / 10);
     }
   in
+  let cluster_cfg =
+    if shards > 1 || txn_every > 0 then begin
+      if String.lowercase_ascii store_name <> "prism" then
+        failwith "--shards/--txn-every need --store prism";
+      if String.lowercase_ascii placement <> "static" then
+        failwith "--shards/--txn-every support --placement static only";
+      Some
+        {
+          Prism_cluster.Cluster.default with
+          Prism_cluster.Cluster.shards = max 1 shards;
+          seed = scenario.Setup.seed;
+        }
+    end
+    else None
+  in
   let make =
-    match String.lowercase_ascii store_name with
-    | "prism" -> (
-        match String.lowercase_ascii placement with
-        | "static" -> fun e -> fst (Setup.prism e scenario)
-        | "hotness" -> fun e -> fst (Setup.prism_hotness e scenario)
-        | other -> failwith ("unknown placement policy: " ^ other))
-    | "kvell" -> fun e -> Setup.kvell e scenario
-    | "matrixkv" -> fun e -> Setup.matrixkv e scenario
-    | "rocksdb-nvm" | "rocksdb" -> fun e -> Setup.rocksdb_nvm e scenario
-    | "slm-db" | "slmdb" -> fun e -> Setup.slmdb e scenario
-    | other -> failwith ("unknown store: " ^ other)
+    match cluster_cfg with
+    | Some ccfg ->
+        fun e -> snd (Prism_cluster.Cluster.of_scenario e ccfg scenario)
+    | None -> (
+        match String.lowercase_ascii store_name with
+        | "prism" -> (
+            match String.lowercase_ascii placement with
+            | "static" -> fun e -> fst (Setup.prism e scenario)
+            | "hotness" -> fun e -> fst (Setup.prism_hotness e scenario)
+            | other -> failwith ("unknown placement policy: " ^ other))
+        | "kvell" -> fun e -> Setup.kvell e scenario
+        | "matrixkv" -> fun e -> Setup.matrixkv e scenario
+        | "rocksdb-nvm" | "rocksdb" -> fun e -> Setup.rocksdb_nvm e scenario
+        | "slm-db" | "slmdb" -> fun e -> Setup.slmdb e scenario
+        | other -> failwith ("unknown store: " ^ other))
   in
   let engine = Engine.create () in
   (match chrome_trace with
@@ -217,7 +236,40 @@ let run store_name placement workloads scenario_arg records value_size
       Span.set_enabled (Engine.spans engine) true;
       Span.set_keep_events (Engine.spans engine) true
   | None -> ());
-  let kv = Kv.instrument engine (make engine) in
+  let cluster, base_kv =
+    match cluster_cfg with
+    | Some ccfg ->
+        let c, ckv = Prism_cluster.Cluster.of_scenario engine ccfg scenario in
+        (Some c, ckv)
+    | None -> (None, make engine)
+  in
+  (* Every [txn_every]-th put becomes a multi-key 2PC write batch: the
+     put's own write plus two uniform-random keys, exercising cross-shard
+     commits under the measured workload. *)
+  let base_kv =
+    match cluster with
+    | Some c when txn_every > 0 ->
+        let count = ref 0 in
+        let rng = Rng.create (Int64.add scenario.Setup.seed 0x7cL) in
+        {
+          base_kv with
+          Kv.put =
+            (fun ~tid key value ->
+              incr count;
+              if !count mod txn_every = 0 then
+                let extras =
+                  List.init 2 (fun _ -> (Ycsb.key_of (Rng.int rng records), value))
+                in
+                match Prism_cluster.Cluster.batch c ~tid ((key, value) :: extras)
+                with
+                | Prism_cluster.Cluster.Committed
+                | Prism_cluster.Cluster.Aborted ->
+                    ()
+              else base_kv.Kv.put ~tid key value);
+        }
+    | _ -> base_kv
+  in
+  let kv = Kv.instrument engine base_kv in
   Printf.printf "store=%s records=%d value=%dB threads=%d ssds=%d zipf=%.2f\n\n"
     kv.Kv.name records value_size threads num_ssds theta;
   (match trace_out with
@@ -291,6 +343,16 @@ let run store_name placement workloads scenario_arg records value_size
   Printf.printf "\nSSD bytes written: %.1f MB; NVM bytes written: %.1f MB\n"
     (float_of_int (dev "ssd") /. 1048576.0)
     (float_of_int (dev "nvm") /. 1048576.0);
+  (match cluster with
+  | Some c ->
+      let commits, aborts, prepares = Prism_cluster.Cluster.txn_stats c in
+      Printf.printf
+        "cluster: %d shards, %d txns committed, %d aborted, %d prepares, %d \
+         ops routed\n"
+        (Prism_cluster.Cluster.shards c)
+        commits aborts prepares
+        (Stats.get_int reg "prism.cluster.ops.routed")
+  | None -> ());
   if String.lowercase_ascii placement = "hotness" then
     Printf.printf
       "NVM tier: %d hits, %d promotions, %d demotions, %.1f MB resident, \
@@ -362,6 +424,25 @@ let () =
   in
   let ops =
     Arg.(value & opt int 20_000 & info [ "ops" ] ~doc:"Operations per workload")
+  in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ]
+          ~doc:
+            "Hash-partition the keyspace across $(docv) Prism shards behind \
+             a simulated network and a 2PC coordinator (--store prism only)"
+          ~docv:"N")
+  in
+  let txn_every =
+    Arg.(
+      value & opt int 0
+      & info [ "txn-every" ]
+          ~doc:
+            "Every $(docv)-th update becomes an atomic multi-key 2PC write \
+             batch across the cluster (implies the cluster front even with \
+             --shards 1; 0 disables)"
+          ~docv:"K")
   in
   let open_loop =
     Arg.(
@@ -444,7 +525,8 @@ let () =
       (Cmd.info "prism-ycsb" ~doc:"Run YCSB workloads on simulated KV stores")
       Term.(
         const run $ store $ placement $ workload $ scenario_arg $ records $ value_size $ threads $ ssds
-        $ theta $ ops $ open_loop $ arrival $ policy $ servers $ trace_out
-        $ trace_in $ stats $ stats_json $ chrome_trace $ gc_tune)
+        $ theta $ ops $ shards $ txn_every $ open_loop $ arrival $ policy
+        $ servers $ trace_out $ trace_in $ stats $ stats_json $ chrome_trace
+        $ gc_tune)
   in
   exit (Cmd.eval cmd)

@@ -588,6 +588,44 @@ let level_candidate t n key =
     else None
   end
 
+(* Newest entry below the memtables: L0 tables (or the NVM container),
+   then the levels. [Some None] is a tombstone. *)
+let search_durable t key =
+  let from_l0 =
+    match t.cfg.l0_mode with
+    | Tables ->
+        let rec search = function
+          | [] -> None
+          | tab :: rest -> (
+              match table_lookup t ~target:t.l0_target tab key with
+              | Some v -> Some v
+              | None -> search rest)
+        in
+        search t.l0
+    | Container _ -> (
+        match Memtable.find t.container key with
+        | Some v ->
+            (* Container lives on NVM: charge a record read. *)
+            Target.read t.l0_target ~size:(write_record_size key v);
+            Some v
+        | None -> None)
+  in
+  match from_l0 with
+  | Some _ as r -> r
+  | None ->
+      let rec search n =
+        if n >= max_levels then None
+        else begin
+          match level_candidate t n key with
+          | Some tab -> (
+              match table_lookup t ~target:t.level_target tab key with
+              | Some v -> Some v
+              | None -> search (n + 1))
+          | None -> search (n + 1)
+        end
+      in
+      search 0
+
 let get t key =
   (* Fixed Get-path software overhead: snapshot/superversion acquisition,
      comparator dispatch, MemTable seek setup — the CPU cost Lepers et
@@ -604,45 +642,42 @@ let get t key =
         | None -> None)
   in
   let resolved =
-    match resolved with
-    | Some _ as r -> r
-    | None -> (
-        match t.cfg.l0_mode with
-        | Tables ->
-            let rec search = function
-              | [] -> None
-              | tab :: rest -> (
-                  match table_lookup t ~target:t.l0_target tab key with
-                  | Some v -> Some v
-                  | None -> search rest)
-            in
-            search t.l0
-        | Container _ -> (
-            match Memtable.find t.container key with
-            | Some v ->
-                (* Container lives on NVM: charge a record read. *)
-                Target.read t.l0_target ~size:(write_record_size key v);
-                Some v
-            | None -> None))
-  in
-  let resolved =
-    match resolved with
-    | Some _ as r -> r
-    | None ->
-        let rec search n =
-          if n >= max_levels then None
-          else begin
-            match level_candidate t n key with
-            | Some tab -> (
-                match table_lookup t ~target:t.level_target tab key with
-                | Some v -> Some v
-                | None -> search (n + 1))
-            | None -> search (n + 1)
-          end
-        in
-        search 0
+    match resolved with Some _ as r -> r | None -> search_durable t key
   in
   match resolved with Some (Some v) -> Some v | Some None | None -> None
+
+let remove_existed t key =
+  maybe_stall t;
+  Sync.Mutex.with_lock t.write_lock (fun () ->
+      (* Existence is decided inside the same critical section that
+         inserts the tombstone. Writers serialize behind [write_lock], so
+         nothing can change the key between the probe and the insert; the
+         durable search below may suspend on IO, but flush and compaction
+         preserve each key's logical value, so its answer is stable. *)
+      let prior =
+        match Memtable.find t.memtable key with
+        | Some _ as r -> r
+        | None -> (
+            match t.immutable_mt with
+            | Some mt -> Memtable.find mt key
+            | None -> None)
+      in
+      let prior =
+        match prior with Some _ as r -> r | None -> search_durable t key
+      in
+      let existed = match prior with Some (Some _) -> true | _ -> false in
+      if t.cfg.wal_enabled then begin
+        Target.write t.wal ~size:(write_record_size key None);
+        Engine.delay (Target.io_overhead t.wal t.cost);
+        t.wal_live <- (key, None) :: t.wal_live;
+        t.wal_appends <- t.wal_appends + 1;
+        (match t.wal_hook with Some f -> f t.wal_appends | None -> ())
+      end;
+      let steps = Memtable.put t.memtable key None in
+      charge_steps t steps;
+      if Memtable.bytes t.memtable >= t.cfg.memtable_bytes then
+        rotate_memtable t;
+      existed)
 
 (* ---- scan ---- *)
 

@@ -56,6 +56,15 @@ val put : t -> string -> bytes -> unit
 (** [remove t key] writes a tombstone. *)
 val remove : t -> string -> unit
 
+(** [remove_existed t key] writes a tombstone and reports whether the key
+    held a live value immediately before it. The answer is decided inside
+    the write-group critical section that inserts the tombstone, so it is
+    exact at the delete's linearization point: concurrent writers are
+    serialized behind the same lock, and flush/compaction preserve each
+    key's logical value. Costs a read of the key's resident location on
+    top of {!remove}. *)
+val remove_existed : t -> string -> bool
+
 val get : t -> string -> bytes option
 
 (** [scan t ~from ~count] merged ascending range read across all levels. *)

@@ -220,6 +220,38 @@ let get t key =
               | Some (Some v) -> Some v
               | Some None | None -> None)))
 
+let remove_existed t key =
+  (* Resolve the durable location first (the block read may suspend),
+     then decide against the memtable in the suspension-free step that
+     inserts the tombstone: a racing writer that lands in between is
+     still observed by the re-probe. *)
+  Model.access t.nvm Model.Read ~size:64;
+  let durable =
+    let found = Prism_index.Btree.find t.index key in
+    charge_index t;
+    match found with
+    | None -> false
+    | Some (tid, block) -> (
+        match Hashtbl.find_opt t.tables tid with
+        | None -> false
+        | Some tab -> (
+            read_block t tab block;
+            match Sstable.find_in_block tab ~block key with
+            | Some (Some _) -> true
+            | Some None | None -> false))
+  in
+  Model.access t.nvm Model.Write ~size:(record_size key None);
+  let existed =
+    match Memtable.find t.memtable key with
+    | Some (Some _) -> true
+    | Some None -> false
+    | None -> durable
+  in
+  let steps = Memtable.put t.memtable key None in
+  Engine.delay (float_of_int steps *. t.cost.Cost.compare_key);
+  if Memtable.bytes t.memtable >= t.memtable_bytes then flush t;
+  existed
+
 let scan t ~from ~count =
   (* Over-fetch: memtable tombstones can shadow indexed entries. *)
   let fetch = (count * 2) + 32 in

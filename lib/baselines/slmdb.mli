@@ -26,6 +26,13 @@ val put : t -> string -> bytes -> unit
 
 val remove : t -> string -> unit
 
+(** [remove_existed t key] writes a tombstone and reports whether the key
+    held a live value immediately before it. The memtable is re-probed in
+    the suspension-free step that inserts the tombstone, so a racing
+    writer that lands between the index lookup and the insert is still
+    observed — the answer is exact at the delete's linearization point. *)
+val remove_existed : t -> string -> bool
+
 val get : t -> string -> bytes option
 
 val scan : t -> from:string -> count:int -> (string * bytes) list

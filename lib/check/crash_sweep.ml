@@ -5,7 +5,7 @@ open Prism_fleet
 exception Crash_now
 
 type config = {
-  store : [ `Prism | `Kvell | `Lsm ];
+  store : [ `Prism | `Kvell | `Lsm | `Cluster ];
   placement : [ `Static | `Hotness ];
   threads : int;
   keys_per_thread : int;
@@ -14,6 +14,9 @@ type config = {
   crash_every : int;
   fault_skip_hsit_flush : bool;
   lsm_wal : bool;
+  shards : int;
+  txn_every : int;
+  fault_skip_log_flush : bool;
   seed : int64;
 }
 
@@ -28,6 +31,9 @@ let default =
     crash_every = 5;
     fault_skip_hsit_flush = false;
     lsm_wal = true;
+    shards = 2;
+    txn_every = 4;
+    fault_skip_log_flush = false;
     seed = 1L;
   }
 
@@ -102,7 +108,14 @@ let run_workload cfg (kv : Kv.t) oracle ops =
             thread_ops))
     ops
 
-let check_recovered cfg kv oracle ~crash_point ~boundary =
+let keys_of_ops ops =
+  let keys = Hashtbl.create 256 in
+  Array.iter
+    (fun tops -> Array.iter (fun (key, _) -> Hashtbl.replace keys key ()) tops)
+    ops;
+  keys
+
+let check_recovered cfg kv oracle ~crash_point ~boundary ~keys =
   let violations = ref [] in
   let admissible key =
     let base =
@@ -118,10 +131,6 @@ let check_recovered cfg kv oracle ~crash_point ~boundary =
     | None -> "absent"
     | Some v -> Printf.sprintf "version %d" v
   in
-  let keys = Hashtbl.create 256 in
-  Array.iter
-    (fun ops -> Array.iter (fun (key, _) -> Hashtbl.replace keys key ()) ops)
-    (all_ops cfg);
   Hashtbl.iter
     (fun key () ->
       let adm = admissible key in
@@ -269,7 +278,8 @@ let run_prism ?(tie = Engine.Fifo) cfg boundary ~target =
           ignore (Prism_core.Store.recover store);
           violations :=
             check_recovered cfg kv oracle ~crash_point:target
-              ~boundary:(boundary_name boundary));
+              ~boundary:(boundary_name boundary)
+              ~keys:(keys_of_ops (all_ops cfg)));
       ignore (Engine.run engine);
       Ok (`Crashed !violations)
 
@@ -318,7 +328,8 @@ let run_kvell cfg ~crash_at ~crash_point =
             Prism_baselines.Kvell.recover kvell;
             violations :=
               check_recovered cfg kv oracle ~crash_point
-                ~boundary:"virtual-time");
+                ~boundary:"virtual-time"
+                ~keys:(keys_of_ops (all_ops cfg)));
         ignore (Engine.run engine);
         Ok (`Crashed !violations)
 
@@ -394,7 +405,226 @@ let run_lsm cfg boundary ~target =
           Lsm_tree.recover tree;
           violations :=
             check_recovered cfg kv oracle ~crash_point:target
-              ~boundary:(lsm_boundary_name boundary));
+              ~boundary:(lsm_boundary_name boundary)
+              ~keys:(keys_of_ops (all_ops cfg)));
+      ignore (Engine.run engine);
+      Ok (`Crashed !violations)
+
+(* ---- cluster sweep: kill the coordinator at every 2PC log-persist
+   boundary ----
+
+   The interesting crash points of a 2PC commit are the durable log
+   appends: the coordinator's commit record (the transaction's ack
+   point) and the participants' prepare records / applied markers. A
+   persist hook on the coordinator log sweeps the first family,
+   a shared hook over every shard's prepare log the second. Recovery
+   must then agree with itself across shards: an acknowledged commit
+   keeps every write (the per-key oracle), and the one in-flight batch
+   per thread is all-or-nothing (the torn-transaction audit below). *)
+
+type cluster_op =
+  | CK_single of string * int option
+  | CK_batch of (string * int) list
+
+(* Per-thread disjoint ranges as in [thread_ops]; every [txn_every]-th
+   op is a multi-key write batch over the thread's own range — the keys
+   still hash across shards, so most batches have several 2PC
+   participants. Batch versions live in a reserved range (>= 1000) so a
+   recovered value names exactly one write. *)
+let cluster_thread_ops cfg tid =
+  let rng = Rng.create (Int64.add cfg.seed (Int64.of_int ((tid * 7919) + 1))) in
+  let key_at i = Prism_workload.Ycsb.key_of ((tid * cfg.keys_per_thread) + i) in
+  Array.init cfg.ops_per_thread (fun j ->
+      if cfg.txn_every > 0 && j mod cfg.txn_every = cfg.txn_every - 1 then begin
+        let base = Rng.int rng cfg.keys_per_thread in
+        let n = min cfg.keys_per_thread (2 + Rng.int rng 2) in
+        CK_batch
+          (List.init n (fun s ->
+               (key_at ((base + s) mod cfg.keys_per_thread), 1000 + (j * 10) + s)))
+      end
+      else
+        let key = key_at (Rng.int rng cfg.keys_per_thread) in
+        if Rng.int rng 5 = 0 then CK_single (key, None)
+        else CK_single (key, Some (j + 1)))
+
+let all_cluster_ops cfg = Array.init cfg.threads (cluster_thread_ops cfg)
+
+let cluster_keys cfg =
+  let keys = Hashtbl.create 256 in
+  for i = 0 to (cfg.threads * cfg.keys_per_thread) - 1 do
+    Hashtbl.replace keys (Prism_workload.Ycsb.key_of i) ()
+  done;
+  keys
+
+let run_cluster_workload cfg cluster (kv : Kv.t) oracle inflight ops =
+  Array.iteri
+    (fun tid thread_ops ->
+      Engine.spawn (Engine.current ()) (fun () ->
+          Array.iter
+            (fun op ->
+              match op with
+              | CK_single (key, what) ->
+                  Hashtbl.replace oracle.pending key what;
+                  (match what with
+                  | Some version ->
+                      kv.Kv.put ~tid key (value_of cfg ~key ~version)
+                  | None -> ignore (kv.Kv.delete ~tid key));
+                  Hashtbl.replace oracle.acked key what;
+                  Hashtbl.remove oracle.pending key
+              | CK_batch writes -> (
+                  List.iter
+                    (fun (k, v) ->
+                      Hashtbl.replace oracle.pending k (Some v))
+                    writes;
+                  Hashtbl.replace inflight tid writes;
+                  let payload =
+                    List.map
+                      (fun (k, v) -> (k, value_of cfg ~key:k ~version:v))
+                      writes
+                  in
+                  let outcome =
+                    Prism_cluster.Cluster.batch cluster ~tid payload
+                  in
+                  Hashtbl.remove inflight tid;
+                  match outcome with
+                  | Prism_cluster.Cluster.Committed ->
+                      List.iter
+                        (fun (k, v) ->
+                          Hashtbl.replace oracle.acked k (Some v);
+                          Hashtbl.remove oracle.pending k)
+                        writes
+                  | Prism_cluster.Cluster.Aborted ->
+                      (* Aborted writes must never become visible: the
+                         oracle keeps only the prior acked value. *)
+                      List.iter
+                        (fun (k, _) -> Hashtbl.remove oracle.pending k)
+                        writes))
+            thread_ops))
+    ops
+
+(* An in-flight batch (crash cut its 2PC short) must recover
+   all-or-nothing: either the commit record was durable — recovery
+   re-applies every write — or it wasn't, and no write survives. *)
+let check_batch_atomicity (kv : Kv.t) inflight ~crash_point ~boundary =
+  Hashtbl.fold
+    (fun _tid writes acc ->
+      let visible =
+        List.map
+          (fun (k, v) ->
+            match kv.Kv.get ~tid:0 k with
+            | Some b -> Prism_workload.Ycsb.version_of b = Some v
+            | None -> false)
+          writes
+      in
+      if List.exists Fun.id visible && not (List.for_all Fun.id visible)
+      then
+        {
+          crash_point;
+          boundary;
+          key = fst (List.hd writes);
+          detail =
+            Printf.sprintf
+              "torn transaction: %d of %d batch writes visible after \
+               recovery (2PC must be all-or-nothing)"
+              (List.length (List.filter Fun.id visible))
+              (List.length visible);
+        }
+        :: acc
+      else acc)
+    inflight []
+
+type cluster_boundary = Coord_log | Prepare_log
+
+let cluster_boundary_name = function
+  | Coord_log -> "coord-log-persist"
+  | Prepare_log -> "prepare-log-persist"
+
+let cluster_cfg_of cfg =
+  {
+    Prism_cluster.Cluster.default with
+    Prism_cluster.Cluster.shards = max 1 cfg.shards;
+    fault_skip_log_flush = cfg.fault_skip_log_flush;
+    seed = cfg.seed;
+  }
+
+let uninstall_cluster_hooks cfg cluster =
+  Prism_media.Nvm.set_persist_hook
+    (Prism_cluster.Cluster.coordinator_log cluster)
+    None;
+  for i = 0 to max 1 cfg.shards - 1 do
+    Prism_media.Nvm.set_persist_hook
+      (Prism_cluster.Cluster.prepare_log cluster i)
+      None
+  done
+
+let run_cluster cfg boundary ~target =
+  let engine = Engine.create () in
+  let oracle = make_oracle () in
+  let inflight = Hashtbl.create 8 in
+  let handles = ref None in
+  Engine.spawn engine (fun () ->
+      let cluster, kv =
+        Prism_cluster.Cluster.of_scenario ~tweak:(prism_tweak cfg) engine
+          (cluster_cfg_of cfg) (scenario cfg)
+      in
+      handles := Some (cluster, kv);
+      (if target > 0 then
+         match boundary with
+         | Coord_log ->
+             let nvm = Prism_cluster.Cluster.coordinator_log cluster in
+             let state = Prism_media.Nvm.persist_count nvm in
+             Prism_media.Nvm.set_persist_hook nvm
+               (Some (fun c -> if c - state = target then raise Crash_now))
+         | Prepare_log ->
+             let seen = ref 0 in
+             for i = 0 to max 1 cfg.shards - 1 do
+               Prism_media.Nvm.set_persist_hook
+                 (Prism_cluster.Cluster.prepare_log cluster i)
+                 (Some
+                    (fun _ ->
+                      incr seen;
+                      if !seen = target then raise Crash_now))
+             done);
+      run_cluster_workload cfg cluster kv oracle inflight
+        (all_cluster_ops cfg));
+  let crashed =
+    match Engine.run engine with
+    | (_ : float) -> false
+    | exception Crash_now -> true
+  in
+  match (!handles, crashed) with
+  | None, _ -> Error `Crashed_before_store
+  | Some (cluster, _), false ->
+      let clog_total =
+        Prism_media.Nvm.persist_count
+          (Prism_cluster.Cluster.coordinator_log cluster)
+      in
+      let plog_total = ref 0 in
+      for i = 0 to max 1 cfg.shards - 1 do
+        plog_total :=
+          !plog_total
+          + Prism_media.Nvm.persist_count
+              (Prism_cluster.Cluster.prepare_log cluster i)
+      done;
+      Ok (`Completed (clog_total, !plog_total))
+  | Some (cluster, kv), true ->
+      uninstall_cluster_hooks cfg cluster;
+      Engine.clear_pending engine;
+      Prism_cluster.Cluster.crash cluster;
+      let violations = ref [] in
+      Engine.spawn engine (fun () ->
+          let resolutions = Prism_cluster.Cluster.recover cluster in
+          (* Every in-doubt transaction got a definite fate; the audits
+             below verify that fate against the acknowledgement oracle,
+             which is exactly "recovery agrees on commit/abort". *)
+          ignore
+            (resolutions : Prism_cluster.Cluster.resolution list);
+          let bname = cluster_boundary_name boundary in
+          violations :=
+            check_batch_atomicity kv inflight ~crash_point:target
+              ~boundary:bname
+            @ check_recovered cfg kv oracle ~crash_point:target
+                ~boundary:bname ~keys:(cluster_keys cfg));
       ignore (Engine.run engine);
       Ok (`Crashed !violations)
 
@@ -459,6 +689,31 @@ let run ?(progress = fun ~boundary:_ ~crash_point:_ -> ()) ?(jobs = 1) cfg =
             crash_points = !crash_points;
             boundaries =
               [ ("nvm-persist", nvm_total); ("ssd-write", ssd_total) ];
+            violations = List.rev !violations;
+          }
+      | `Cluster ->
+          let clog_total, plog_total =
+            match run_cluster cfg Coord_log ~target:0 with
+            | Ok (`Completed counts) -> counts
+            | Ok (`Crashed _) | Error _ -> assert false
+          in
+          let crash_points = ref 0 in
+          let violations = ref [] in
+          let sweep boundary total =
+            sweep_boundary pool
+              ~runner:(fun target -> run_cluster cfg boundary ~target)
+              ~name:(cluster_boundary_name boundary) ~progress ~crash_points
+              ~violations ~targets:(targets_of ~k ~total)
+          in
+          sweep Coord_log clog_total;
+          sweep Prepare_log plog_total;
+          {
+            crash_points = !crash_points;
+            boundaries =
+              [
+                ("coord-log-persist", clog_total);
+                ("prepare-log-persist", plog_total);
+              ];
             violations = List.rev !violations;
           }
       | `Lsm ->

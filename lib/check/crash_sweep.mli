@@ -18,7 +18,7 @@
     clears pending events, crashes the store, recovers, and audits. *)
 
 type config = {
-  store : [ `Prism | `Kvell | `Lsm ];
+  store : [ `Prism | `Kvell | `Lsm | `Cluster ];
   placement : [ `Static | `Hotness ];
       (** [`Prism] only: [`Hotness] adds a checker-sized NVM value tier,
           so nvm-persist crash points also land inside promote copies
@@ -35,6 +35,14 @@ type config = {
   lsm_wal : bool;
       (** [`Lsm] only: disable to model WAL-less RocksDB — the publish
           sweep must then report lost acknowledged writes *)
+  shards : int;  (** [`Cluster] only: Prism shards behind the 2PC front *)
+  txn_every : int;
+      (** [`Cluster] only: every N-th op per thread is a multi-key 2PC
+          write batch over the thread's range (0 = singles only) *)
+  fault_skip_log_flush : bool;
+      (** [`Cluster] only: commit records skip their persist, so the
+          client ack races durability — the coord-log sweep must then
+          report lost acknowledged transaction writes *)
   seed : int64;
 }
 
@@ -44,7 +52,8 @@ type violation = {
   crash_point : int;  (** boundary ordinal (or grid index) injected at *)
   boundary : string;
       (** ["nvm-persist"], ["ssd-write"], ["wal-append"],
-          ["sstable-publish"], ["virtual-time"] *)
+          ["sstable-publish"], ["virtual-time"], ["coord-log-persist"],
+          ["prepare-log-persist"] *)
   key : string;
   detail : string;
 }

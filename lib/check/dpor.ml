@@ -323,7 +323,9 @@ let explore ?(order = `Frontier) ?(full = false) ?(stop_on = fun _ -> false)
       let window = 2 * Fleet.jobs pool in
       (* Predict the next [window] (node, alt, started-snapshot) targets
          by replaying the selection rule against a shadow frontier whose
-         started sets grow with each predicted pick. *)
+         started sets grow with each predicted pick. Fresh speculative
+         nodes are invisible to the shadow (they only exist at commit),
+         so predictions beyond the next commit can be preempted. *)
       let predict () =
         let shadow : (int, Iset.t) Hashtbl.t = Hashtbl.create 16 in
         let started_of n =
@@ -349,44 +351,55 @@ let explore ?(order = `Frontier) ?(full = false) ?(stop_on = fun _ -> false)
         done;
         List.rev !preds
       in
-      while not !stopped do
-        match next_target () with
-        | None ->
-            complete := true;
-            stopped := true
-        | Some _ ->
-            let batch =
-              List.map
-                (fun (n, i, snap) ->
+      (* In-flight speculations, head = predicted next commit. After a
+         mispredict the tail is re-predicted against the corrected
+         frontier instead of being discarded: any in-flight future whose
+         (node, alternative, snapshot) triple survives re-prediction is
+         still a valid run of that target and is kept; only genuinely
+         new targets are submitted. Stale futures are dropped — never
+         committed, so they never existed as far as the report is
+         concerned (an idle worker may still burn cycles on one). *)
+      let inflight = ref [] in
+      let refill () =
+        let old = !inflight in
+        inflight :=
+          List.map
+            (fun (n, i, snap) ->
+              match
+                List.find_opt
+                  (fun (n', i', snap', _) ->
+                    n' == n && i' = i && Iset.equal snap snap')
+                  old
+              with
+              | Some entry -> entry
+              | None ->
                   ( n,
                     i,
                     snap,
                     Fleet.submit pool (fun () ->
                         spec_run (Some (n, i)) ~snapshot:snap) ))
-                (predict ())
-            in
-            let mispredicted = ref false in
-            List.iter
-              (fun (n, i, snap, fu) ->
-                if !stopped || !mispredicted then
-                  (* Discarded speculation: never committed, so it never
-                     existed as far as the report is concerned. An idle
-                     worker may still burn cycles on it — harmless. *)
-                  ignore fu
-                else
-                  match next_target () with
-                  | None ->
-                      complete := true;
-                      stopped := true
-                  | Some (n', i')
-                    when n' == n && i' = i && Iset.equal snap n.started ->
-                      commit (Fleet.await pool fu) (Some (n, i))
-                  | Some (n', i') ->
-                      mispredicted := true;
-                      commit
-                        (spec_run (Some (n', i')) ~snapshot:n'.started)
-                        (Some (n', i')))
-              batch
+            (predict ())
+      in
+      while not !stopped do
+        match next_target () with
+        | None ->
+            complete := true;
+            stopped := true
+        | Some (n', i') -> (
+            (if !inflight = [] then refill ());
+            match !inflight with
+            | (n, i, snap, fu) :: rest
+              when n' == n && i' = i && Iset.equal snap n.started ->
+                inflight := rest;
+                commit (Fleet.await pool fu) (Some (n, i))
+            | _ ->
+                (* Mispredicted (or prediction exhausted): one inline
+                   serial step against the true frontier, then rebuild
+                   the window, reusing whatever still matches. *)
+                commit
+                  (spec_run (Some (n', i')) ~snapshot:n'.started)
+                  (Some (n', i'));
+                refill ())
       done
   | _ ->
       (* Serial walk: same spec_run/commit pair, back to back. *)

@@ -8,6 +8,7 @@ type fault =
   | Scan_stale_snapshot
   | Scan_skip_pwb
   | Scan_drop_key
+  | Skip_2pc_log_flush
 
 type config = {
   store : [ `Prism | `Kvell ];
@@ -21,6 +22,8 @@ type config = {
   scan_every : int;
   scan_check : [ `Strict | `Weak ];
   fault : fault;
+  shards : int;
+  txn_every : int;
   seed : int64;
 }
 
@@ -37,8 +40,16 @@ let default =
     scan_every = 16;
     scan_check = `Strict;
     fault = No_fault;
+    shards = 1;
+    txn_every = 0;
     seed = 1L;
   }
+
+(* Cluster mode: a hash-partitioned Prism cluster replaces the single
+   store, and (with [txn_every > 0]) a slice of updates become multi-key
+   2PC write batches the checker folds in as atomic anchors. *)
+let cluster_mode cfg =
+  cfg.store = `Prism && (cfg.shards > 1 || cfg.txn_every > 0)
 
 type schedule_stats = {
   index : int;
@@ -75,6 +86,7 @@ type op =
   | O_get of string
   | O_delete of string
   | O_scan of string * int
+  | O_batch of (string * bytes) list
 
 let gen_ops cfg =
   let rng = Rng.create cfg.seed in
@@ -83,17 +95,43 @@ let gen_ops cfg =
       ~theta:cfg.theta ~value_size:cfg.value_size rng
   in
   let spice = Rng.create (Int64.lognot cfg.seed) in
+  (* Batch payloads carry versions from a reserved range so no two writes
+     in the history share bytes — value equality is what lets the checker
+     tell linearization points apart. *)
+  let batch_version = ref 1_000_000 in
+  (* Scans stay single-shard: a scatter-gather scan is not covered by the
+     cluster's strict-serializability argument (see [Cluster.scan]), so
+     multi-shard workloads trade them for reads. *)
+  let scans_ok = cfg.shards <= 1 in
   Array.init cfg.threads (fun _ ->
       Array.init cfg.ops_per_thread (fun _ ->
           match Prism_workload.Ycsb.next gen with
           | Prism_workload.Ycsb.Update (key, value) ->
-              if Rng.int spice cfg.delete_every = 0 then O_delete key
+              if
+                cfg.txn_every > 0
+                && Rng.int spice cfg.txn_every = 0
+              then
+                O_batch
+                  ((key, value)
+                  :: List.init 2 (fun _ ->
+                         let k =
+                           Prism_workload.Ycsb.key_of
+                             (Rng.int spice cfg.records)
+                         in
+                         incr batch_version;
+                         ( k,
+                           Prism_workload.Ycsb.value_for
+                             ~size:cfg.value_size ~key:k
+                             ~version:!batch_version )))
+              else if Rng.int spice cfg.delete_every = 0 then O_delete key
               else O_put (key, value)
           | Prism_workload.Ycsb.Read key ->
-              if Rng.int spice cfg.scan_every = 0 then O_scan (key, 8)
+              if scans_ok && Rng.int spice cfg.scan_every = 0 then
+                O_scan (key, 8)
               else O_get key
           | Prism_workload.Ycsb.Insert (key, value) -> O_put (key, value)
-          | Prism_workload.Ycsb.Scan (key, n) -> O_scan (key, n)))
+          | Prism_workload.Ycsb.Scan (key, n) ->
+              if scans_ok then O_scan (key, n) else O_get key))
 
 let scenario cfg =
   {
@@ -123,6 +161,10 @@ let tweak cfg c =
   in
   match cfg.fault with
   | No_fault -> c
+  (* Cluster-level fault: injected via the cluster config in [make_kv],
+     not the store config — and only observable across a crash, so live
+     exploration of it is (correctly) clean. *)
+  | Skip_2pc_log_flush -> c
   | Skip_svc_invalidate ->
       { c with Prism_core.Config.fault_skip_svc_invalidate = true }
   | Skip_hsit_flush -> { c with Prism_core.Config.fault_skip_hsit_flush = true }
@@ -154,26 +196,59 @@ let kvell_sync engine s =
     } )
 
 let make_kv cfg engine =
-  match cfg.store with
-  | `Prism ->
-      let kv, _store = Setup.prism ~tweak:(tweak cfg) engine (scenario cfg) in
-      kv
-  | `Kvell ->
-      let _kvell, kv = kvell_sync engine (scenario cfg) in
-      kv
+  if cluster_mode cfg then begin
+    let ccfg =
+      {
+        Prism_cluster.Cluster.default with
+        Prism_cluster.Cluster.shards = max 1 cfg.shards;
+        fault_skip_log_flush = cfg.fault = Skip_2pc_log_flush;
+        seed = cfg.seed;
+      }
+    in
+    let cluster, kv =
+      Prism_cluster.Cluster.of_scenario ~tweak:(tweak cfg) engine ccfg
+        (scenario cfg)
+    in
+    ( kv,
+      Some
+        (fun ~tid writes ->
+          Prism_cluster.Cluster.batch cluster ~tid writes
+          = Prism_cluster.Cluster.Committed) )
+  end
+  else
+    match cfg.store with
+    | `Prism ->
+        let kv, _store =
+          Setup.prism ~tweak:(tweak cfg) engine (scenario cfg)
+        in
+        (kv, None)
+    | `Kvell ->
+        let _kvell, kv = kvell_sync engine (scenario cfg) in
+        (kv, None)
 
-let run_op kv ~tid = function
+let run_op hist kv batch ~tid = function
   | O_put (key, value) -> kv.Kv.put ~tid key value
   | O_get key -> ignore (kv.Kv.get ~tid key)
   | O_delete key -> ignore (kv.Kv.delete ~tid key)
   | O_scan (key, n) -> ignore (kv.Kv.scan ~tid key n)
+  | O_batch writes -> (
+      match batch with
+      | Some submit ->
+          ignore
+            (History.record_batch hist ~tid writes (fun () ->
+                 submit ~tid writes))
+      | None ->
+          (* No transactional backend: degrade to individual puts so the
+             workload stays runnable (gen_ops only emits batches when
+             [txn_every > 0], which implies cluster mode for Prism). *)
+          List.iter (fun (k, v) -> kv.Kv.put ~tid k v) writes)
 
 let run_one cfg ~index ~tie_seed ~tie =
   let engine = Engine.create () in
   Engine.set_tie_break engine tie;
   let hist = History.create () in
   let ops = gen_ops cfg in
-  let kv = make_kv cfg engine in
+  let kv, batch = make_kv cfg engine in
   let kv = History.wrap hist kv in
   History.set_enabled hist false;
   Engine.spawn engine (fun () ->
@@ -186,7 +261,7 @@ let run_one cfg ~index ~tie_seed ~tie =
       Array.iteri
         (fun tid thread_ops ->
           Engine.spawn engine (fun () ->
-              Array.iter (run_op kv ~tid) thread_ops))
+              Array.iter (run_op hist kv batch ~tid) thread_ops))
         ops);
   let clock = Engine.run engine in
   let events = History.events hist in

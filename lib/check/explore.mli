@@ -24,6 +24,10 @@ type fault =
   | Scan_drop_key
       (** scans drop their second item when returning three or more — a
           provably present in-range key goes missing *)
+  | Skip_2pc_log_flush
+      (** the cluster coordinator acks commits without persisting the
+          commit record — harmless live, loses acknowledged transactions
+          across a crash; see {!Crash_sweep} *)
 
 type config = {
   store : [ `Prism | `Kvell ];
@@ -44,6 +48,15 @@ type config = {
       (** scan obligation passed to {!Linearize.check}: atomic snapshots
           (default) or the legacy prefix conditions *)
   fault : fault;
+  shards : int;
+      (** > 1 runs a hash-partitioned {!Prism_cluster.Cluster} instead of
+          one store (Prism only); scans are traded for reads, since
+          scatter-gather scans sit outside the cluster's
+          strict-serializability argument *)
+  txn_every : int;
+      (** 1-in-N updates become multi-key 2PC write batches (0 = never);
+          committed batches enter the check as atomic anchors, so a torn
+          or non-atomic transaction is a reported violation *)
   seed : int64;  (** master seed: workload + all per-schedule tie seeds *)
 }
 

@@ -5,12 +5,14 @@ type call =
   | Get of string
   | Delete of string
   | Scan of string * int
+  | Batch of (string * bytes) list
 
 type outcome =
   | Ok_unit
   | Got of bytes option
   | Existed of bool
   | Items of (string * bytes) list
+  | Committed of bool
 
 type event = {
   op : int;
@@ -105,12 +107,14 @@ let key_of_id i =
   Mutex.unlock keys_mutex;
   name
 
-(* Layout: bits 0-1 kind, bits 2-12 tid+1 (11 bits), bits 13-34 key id.
-   The tid field holds tid+1 so an all-zero label never aliases a real
-   operation; tids beyond the field width fail loudly instead of
-   silently colliding into a shared conflict class. *)
+(* Layout: bits 0-1 kind, bits 2-12 tid+1 (11 bits), bits 13-34 key id,
+   bit 35 multi-key batch. The tid field holds tid+1 so an all-zero label
+   never aliases a real operation; tids beyond the field width fail
+   loudly instead of silently colliding into a shared conflict class. *)
 
 let max_tid = 0x7FF - 1 (* tid+1 must fit in 11 bits *)
+
+let batch_bit = 1 lsl 35
 
 let op_label ~tid call =
   if tid < 0 || tid > max_tid then
@@ -123,15 +127,26 @@ let op_label ~tid call =
     | Delete k -> (kind_write, key_id k)
     | Get k -> (kind_read, key_id k)
     | Scan (from, _) -> (kind_scan, key_id from)
+    | Batch _ -> (kind_write, 0)
   in
-  (keyh lsl 13) lor ((tid + 1) lsl 2) lor kind
+  (match call with Batch _ -> batch_bit | _ -> 0)
+  lor (keyh lsl 13)
+  lor ((tid + 1) lsl 2)
+  lor kind
 
 let label_kind l = l land 3
 
-let label_key l = l lsr 13
+let label_key l = (l lsr 13) land (max_keys - 1)
 
 let conflicting a b =
   if a = 0 || b = 0 then true (* unlabelled: assume the worst *)
+  else if a land batch_bit <> 0 || b land batch_bit <> 0 then
+    (* A batch touches several keys across shards; its label cannot name
+       them all, so it conservatively conflicts with every operation.
+       Sound (DPOR explores a superset of necessary interleavings), and
+       batches are rare in checker workloads, so the lost pruning is
+       contained. *)
+    true
   else begin
     let ka = label_kind a and kb = label_kind b in
     (* A scan ranges over keys at or above its start key, so it conflicts
@@ -183,19 +198,23 @@ let record t ~tid call run =
 
 let unwrap_unit = function
   | Ok_unit -> ()
-  | Got _ | Existed _ | Items _ -> assert false
+  | Got _ | Existed _ | Items _ | Committed _ -> assert false
 
 let unwrap_got = function
   | Got v -> v
-  | Ok_unit | Existed _ | Items _ -> assert false
+  | Ok_unit | Existed _ | Items _ | Committed _ -> assert false
 
 let unwrap_existed = function
   | Existed e -> e
-  | Ok_unit | Got _ | Items _ -> assert false
+  | Ok_unit | Got _ | Items _ | Committed _ -> assert false
 
 let unwrap_items = function
   | Items l -> l
-  | Ok_unit | Got _ | Existed _ -> assert false
+  | Ok_unit | Got _ | Existed _ | Committed _ -> assert false
+
+let unwrap_committed = function
+  | Committed c -> c
+  | Ok_unit | Got _ | Existed _ | Items _ -> assert false
 
 let wrap t (kv : Prism_harness.Kv.t) =
   {
@@ -223,6 +242,10 @@ let wrap t (kv : Prism_harness.Kv.t) =
                Items (kv.Prism_harness.Kv.scan ~tid key count))));
   }
 
+let record_batch t ~tid writes run =
+  unwrap_committed
+    (record t ~tid (Batch writes) (fun () -> Committed (run ())))
+
 let events t =
   let a = Array.of_list (List.rev t.events_rev) in
   Array.sort (fun a b -> compare a.inv b.inv) a;
@@ -235,6 +258,13 @@ let pp_call fmt = function
   | Get k -> Format.fprintf fmt "get %s" k
   | Delete k -> Format.fprintf fmt "delete %s" k
   | Scan (k, n) -> Format.fprintf fmt "scan %s +%d" k n
+  | Batch ws ->
+      Format.fprintf fmt "batch {%a}"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+           (fun fmt (k, v) ->
+             Format.fprintf fmt "%s (%d B)" k (Bytes.length v)))
+        ws
 
 let pp_outcome fmt = function
   | Ok_unit -> Format.fprintf fmt "ok"
@@ -242,6 +272,7 @@ let pp_outcome fmt = function
   | Got (Some v) -> Format.fprintf fmt "-> Some (%d B)" (Bytes.length v)
   | Existed e -> Format.fprintf fmt "-> existed:%b" e
   | Items l -> Format.fprintf fmt "-> %d items" (List.length l)
+  | Committed c -> Format.fprintf fmt "-> committed:%b" c
 
 let pp_event fmt e =
   Format.fprintf fmt "[%d] tid%d %a %a (inv %d@@%.6fs, resp %d@@%.6fs)" e.op

@@ -23,12 +23,15 @@ type call =
   | Get of string
   | Delete of string
   | Scan of string * int
+  | Batch of (string * bytes) list
+      (** multi-key atomic write batch (2PC transaction) *)
 
 type outcome =
   | Ok_unit
   | Got of bytes option
   | Existed of bool
   | Items of (string * bytes) list
+  | Committed of bool  (** a batch's fate: committed or aborted *)
 
 type event = {
   op : int;  (** dense index in invocation order *)
@@ -52,6 +55,13 @@ val set_enabled : t -> bool -> unit
 (** [wrap t kv] is [kv] with every put/get/delete/scan logged into [t].
     [quiesce]/recovery passthroughs are unchanged. *)
 val wrap : t -> Prism_harness.Kv.t -> Prism_harness.Kv.t
+
+(** [record_batch t ~tid writes run] logs a multi-key write batch around
+    [run] (which performs the transaction and returns whether it
+    committed). [Kv.t] has no batch operation, so cluster workloads call
+    this directly next to a {!wrap}ped store. *)
+val record_batch :
+  t -> tid:int -> (string * bytes) list -> (unit -> bool) -> bool
 
 (** Completed events sorted by invocation stamp. Operations that never
     returned (e.g. cut off by a crash) are absent — they never completed,
@@ -77,9 +87,11 @@ val max_tid : int
 (** [conflicting a b] is the dependency relation over scheduling labels:
     true when reordering two events with these labels could change the
     outcome — same-key with at least one writer, a write at or above a
-    scan's start key, or either label unlabelled ([0], assumed to touch
-    anything). Two reads, two scans, writes strictly below a scan's
-    start key, or operations on different keys commute. *)
+    scan's start key, either label unlabelled ([0], assumed to touch
+    anything), or either label a batch (a batch's label cannot name its
+    full key set, so it conservatively conflicts with everything). Two
+    reads, two scans, writes strictly below a scan's start key, or
+    operations on different keys commute. *)
 val conflicting : int -> int -> bool
 
 val pp_call : Format.formatter -> call -> unit

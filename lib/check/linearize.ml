@@ -23,6 +23,20 @@ type op = { ev : History.event; sem : sem }
    key may have been preloaded before recording started. *)
 type state = V_init | V_absent | V_put of int
 
+(* Within one batch a later write to the same key wins (the cluster's
+   documented semantics); expansion keeps only the winners. *)
+let dedup_batch writes =
+  let seen = Hashtbl.create 8 in
+  List.iter (fun (k, v) -> Hashtbl.replace seen k v) writes;
+  List.filter_map
+    (fun (k, _) ->
+      match Hashtbl.find_opt seen k with
+      | Some v ->
+          Hashtbl.remove seen k;
+          Some (k, v)
+      | None -> None)
+    writes
+
 let project events =
   let by_key = Hashtbl.create 64 in
   let add key op =
@@ -36,6 +50,15 @@ let project events =
       | History.Get key, History.Got v -> add key { ev; sem = R v }
       | History.Delete key, History.Existed e -> add key { ev; sem = D e }
       | History.Scan _, _ -> ()
+      (* A committed batch expands into independent per-key writes here —
+         a sound under-constraint (per-key it behaves like a put); its
+         atomicity obligation is enforced by the component search, where
+         the batch linearizes as one multi-slot write. An aborted batch
+         must be invisible everywhere, so it contributes nothing and the
+         per-key reads prove the invisibility. *)
+      | History.Batch writes, History.Committed true ->
+          List.iter (fun (k, v) -> add k { ev; sem = W v }) (dedup_batch writes)
+      | History.Batch _, History.Committed false -> ()
       | _ -> invalid_arg "Linearize: mismatched call/outcome")
     events;
   Hashtbl.fold
@@ -155,11 +178,15 @@ let check_scans ~init events =
   in
   Array.iter
     (fun e ->
+      let add k v =
+        Hashtbl.replace puts_by_key k
+          ((v, e.History.inv)
+          :: Option.value ~default:[] (Hashtbl.find_opt puts_by_key k))
+      in
       match (e.History.call, e.History.outcome) with
-      | History.Put (k, v), History.Ok_unit ->
-          Hashtbl.replace puts_by_key k
-            ((v, e.History.inv)
-            :: Option.value ~default:[] (Hashtbl.find_opt puts_by_key k))
+      | History.Put (k, v), History.Ok_unit -> add k v
+      | History.Batch writes, History.Committed true ->
+          List.iter (fun (k, v) -> add k v) (dedup_batch writes)
       | _ -> ())
     events;
   let err ev reason = Error { key = ""; reason; ops = [ ev ] } in
@@ -270,7 +297,9 @@ let in_range s k =
      | None -> true
      | Some u -> String.compare k u <= 0)
 
-(* Puts and deletes only: gets stay in the per-key search. *)
+(* Puts and deletes only: gets stay in the per-key search, and batch
+   writes enter the component as one atomic anchor (below), never as
+   independent writes. *)
 let writes_by_key events =
   let tbl : (string, op list) Hashtbl.t = Hashtbl.create 64 in
   let add k o =
@@ -285,6 +314,30 @@ let writes_by_key events =
       | _ -> ())
     events;
   tbl
+
+(* ---- strict serializability: batches as atomic anchors ----
+
+   A committed 2PC batch is a multi-key write that must take effect at a
+   single point. It joins the component search as an {e anchor} exactly
+   like a scan: its footprint is its write set, overlapping footprints
+   merge into one component, and inside the search it steps every
+   written slot at once. Aborted batches never appear. *)
+
+type anchor =
+  | A_scan of scan_rec
+  | A_batch of History.event * (string * bytes) list
+
+let anchor_ev = function A_scan s -> s.s_ev | A_batch (ev, _) -> ev
+
+let batch_recs events =
+  Array.fold_left
+    (fun acc ev ->
+      match (ev.History.call, ev.History.outcome) with
+      | History.Batch writes, History.Committed true ->
+          A_batch (ev, dedup_batch writes) :: acc
+      | _ -> acc)
+    [] events
+  |> List.rev
 
 (* A preloaded key no operation ever wrote has constant presence, so it
    must appear in every scan that covers it — checked statically, which
@@ -318,11 +371,12 @@ let check_preload_static ~init ~init_keys ~writes scans =
   in
   go init_keys
 
-(* Group scans into connected components of overlapping footprints, each
-   with the union of its footprint keys. *)
-let scan_components scans writes =
-  let scans = Array.of_list scans in
-  let n = Array.length scans in
+(* Group anchors (scans and committed batches) into connected components
+   of overlapping footprints, each with the union of its footprint
+   keys. *)
+let anchor_components anchors writes =
+  let anchors = Array.of_list anchors in
+  let n = Array.length anchors in
   let parent = Array.init n Fun.id in
   let rec find i = if parent.(i) = i then i else find parent.(i) in
   let union a b =
@@ -331,14 +385,18 @@ let scan_components scans writes =
   in
   let footprints =
     Array.map
-      (fun s ->
+      (fun a ->
         let keys = Hashtbl.create 16 in
-        Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) s.s_returned;
-        Hashtbl.iter
-          (fun k _ -> if in_range s k then Hashtbl.replace keys k ())
-          writes;
+        (match a with
+        | A_scan s ->
+            Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) s.s_returned;
+            Hashtbl.iter
+              (fun k _ -> if in_range s k then Hashtbl.replace keys k ())
+              writes
+        | A_batch (_, ws) ->
+            List.iter (fun (k, _) -> Hashtbl.replace keys k ()) ws);
         keys)
-      scans
+      anchors
   in
   let owner : (string, int) Hashtbl.t = Hashtbl.create 64 in
   Array.iteri
@@ -350,11 +408,11 @@ let scan_components scans writes =
           | None -> Hashtbl.replace owner k i)
         keys)
     footprints;
-  let comps : (int, scan_rec list ref * (string, unit) Hashtbl.t) Hashtbl.t =
+  let comps : (int, anchor list ref * (string, unit) Hashtbl.t) Hashtbl.t =
     Hashtbl.create 8
   in
   Array.iteri
-    (fun i s ->
+    (fun i a ->
       let root = find i in
       let members, keys =
         match Hashtbl.find_opt comps root with
@@ -364,9 +422,9 @@ let scan_components scans writes =
             Hashtbl.replace comps root c;
             c
       in
-      members := s :: !members;
+      members := a :: !members;
       Hashtbl.iter (fun k () -> Hashtbl.replace keys k ()) footprints.(i))
-    scans;
+    anchors;
   Hashtbl.fold
     (fun _root (members, keys) acc ->
       let keys =
@@ -375,21 +433,28 @@ let scan_components scans writes =
       (List.rev !members, Array.of_list keys) :: acc)
     comps []
 
-type comp_op = C_write of op * int (* slot of the written key *) | C_scan of scan_rec
+type comp_op =
+  | C_write of op * int (* slot of the written key *)
+  | C_scan of scan_rec
+  | C_batch of History.event * (int * bytes) list (* (slot, value) list *)
 
 let comp_ev = function
   | C_write (o, _) -> o.ev
   | C_scan s -> s.s_ev
+  | C_batch (ev, _) -> ev
 
 (* One Wing–Gong search over a component: state is the whole footprint's
    key -> register map, writes/deletes step their key's slot, and a scan
    linearizes only at a point where its result is exactly the live
    in-range contents. Memoized on (linearized set, state vector) like the
    per-key search. *)
-let check_component ~init scans keys writes =
+let check_component ~init anchors keys writes =
   let nkeys = Array.length keys in
   let slot_of : (string, int) Hashtbl.t = Hashtbl.create (2 * nkeys) in
   Array.iteri (fun i k -> Hashtbl.replace slot_of k i) keys;
+  (* Write identity must be unique per (event, slot): one batch event
+     writes several slots, each carrying its own value. *)
+  let wid ev slot = (ev.History.op * nkeys) + slot in
   let ops =
     let writes_ops =
       Array.to_list keys
@@ -397,9 +462,19 @@ let check_component ~init scans keys writes =
              Option.value ~default:[] (Hashtbl.find_opt writes k)
              |> List.map (fun o -> C_write (o, Hashtbl.find slot_of k)))
     in
-    let a =
-      Array.of_list (writes_ops @ List.map (fun s -> C_scan s) scans)
+    let anchor_ops =
+      List.map
+        (function
+          | A_scan s -> C_scan s
+          | A_batch (ev, ws) ->
+              C_batch
+                ( ev,
+                  List.map
+                    (fun (k, v) -> (Hashtbl.find slot_of k, v))
+                    ws ))
+        anchors
     in
+    let a = Array.of_list (writes_ops @ anchor_ops) in
     Array.sort
       (fun a b ->
         compare (comp_ev a).History.inv (comp_ev b).History.inv)
@@ -411,7 +486,12 @@ let check_component ~init scans keys writes =
   Array.iter
     (fun op ->
       match op with
-      | C_write ({ ev; sem = W v }, _) -> Hashtbl.replace value_of ev.History.op v
+      | C_write (({ ev; sem = W v } : op), slot) ->
+          Hashtbl.replace value_of (wid ev slot) v
+      | C_batch (ev, ws) ->
+          List.iter
+            (fun (slot, v) -> Hashtbl.replace value_of (wid ev slot) v)
+            ws
       | C_write _ | C_scan _ -> ())
     ops;
   let states = Array.make nkeys V_init in
@@ -541,7 +621,7 @@ let check_component ~init scans keys writes =
                 let legal =
                   match op.sem with
                   | W _ ->
-                      states.(slot) <- V_put op.ev.History.op;
+                      states.(slot) <- V_put (wid op.ev slot);
                       true
                   | D e ->
                       if e = present slot then begin
@@ -560,6 +640,21 @@ let check_component ~init scans keys writes =
                   end
                 end
                 else states.(slot) <- saved)
+            | C_batch (ev, ws) ->
+                (* All the batch's slots step at one point — this is the
+                   atomicity obligation of a committed transaction. *)
+                let saved = List.map (fun (slot, _) -> states.(slot)) ws in
+                List.iter
+                  (fun (slot, _) -> states.(slot) <- V_put (wid ev slot))
+                  ws;
+                linearized.(j) <- true;
+                if search (remaining - 1) then found := true
+                else begin
+                  linearized.(j) <- false;
+                  List.iter2
+                    (fun (slot, _) st -> states.(slot) <- st)
+                    ws saved
+                end
             | C_scan s ->
                 if scan_at_point remaining s then begin
                   linearized.(j) <- true;
@@ -589,26 +684,43 @@ let check_component ~init scans keys writes =
             ops = scan_ev :: key_ops;
           }
     | None ->
+        let nscans =
+          List.length
+            (List.filter (function A_scan _ -> true | _ -> false) anchors)
+        and nbatches =
+          List.length
+            (List.filter (function A_batch _ -> true | _ -> false) anchors)
+        in
         Error
           {
             key = "";
             reason =
               Printf.sprintf
-                "no linearization of %d writes and %d scans over %d keys \
-                 admits an atomic snapshot point for every scan"
-                (n - List.length scans)
-                (List.length scans) nkeys;
+                "no linearization of %d writes, %d batches and %d scans \
+                 over %d keys admits an atomic point for every scan and \
+                 batch"
+                (n - nscans - nbatches)
+                nbatches nscans nkeys;
             ops = Array.to_list (Array.map comp_ev ops);
           }
 
 let check_scans_strict ~init ~init_keys events =
-  match scan_recs events with
-  | [] -> Ok ()
-  | scans -> (
+  let scans = scan_recs events in
+  let batches = batch_recs events in
+  match (scans, batches) with
+  | [], [] -> Ok ()
+  | _ -> (
       let writes = writes_by_key events in
       match check_preload_static ~init ~init_keys ~writes scans with
       | Error _ as e -> e
       | Ok () ->
+          let anchors = List.map (fun s -> A_scan s) scans @ batches in
+          let anchors =
+            List.sort
+              (fun a b ->
+                compare (anchor_ev a).History.inv (anchor_ev b).History.inv)
+              anchors
+          in
           let rec comps = function
             | [] -> Ok ()
             | (members, keys) :: rest -> (
@@ -616,7 +728,7 @@ let check_scans_strict ~init ~init_keys events =
                 | Ok () -> comps rest
                 | Error _ as e -> e)
           in
-          comps (scan_components scans writes))
+          comps (anchor_components anchors writes))
 
 let check ?(init = fun _ -> None) ?(init_keys = []) ?(scans = `Strict)
     events =

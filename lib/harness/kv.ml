@@ -32,13 +32,7 @@ let of_lsm tree =
     stat_prefix = Prism_sim.Stats.sanitize name;
     put = (fun ~tid:_ key value -> Lsm_tree.put tree key value);
     get = (fun ~tid:_ key -> Lsm_tree.get tree key);
-    delete =
-      (fun ~tid:_ key ->
-        (* Read-then-remove: the native [remove] writes a blind
-           tombstone. See the contract caveat in kv.mli. *)
-        let existed = Lsm_tree.get tree key <> None in
-        Lsm_tree.remove tree key;
-        existed);
+    delete = (fun ~tid:_ key -> Lsm_tree.remove_existed tree key);
     scan = (fun ~tid:_ key count -> Lsm_tree.scan tree ~from:key ~count);
     quiesce = (fun () -> Lsm_tree.quiesce tree);
     recover = None;
@@ -51,11 +45,7 @@ let of_slmdb db =
     stat_prefix = Prism_sim.Stats.sanitize "SLM-DB";
     put = (fun ~tid:_ key value -> Slmdb.put db key value);
     get = (fun ~tid:_ key -> Slmdb.get db key);
-    delete =
-      (fun ~tid:_ key ->
-        let existed = Slmdb.get db key <> None in
-        Slmdb.remove db key;
-        existed);
+    delete = (fun ~tid:_ key -> Slmdb.remove_existed db key);
     scan = (fun ~tid:_ key count -> Slmdb.scan db ~from:key ~count);
     quiesce = (fun () -> Slmdb.quiesce db);
     recover = None;

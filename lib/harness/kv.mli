@@ -15,11 +15,10 @@ type t = {
   put : tid:int -> string -> bytes -> unit;
   get : tid:int -> string -> bytes option;
   delete : tid:int -> string -> bool;
-      (** returns whether the key existed. The LSM and SLM-DB adapters
-          implement this as read-then-remove (their native [remove] is a
-          blind tombstone write), so the answer can be stale if another
-          thread races the two steps — treat it as a hint, not a
-          linearization witness, for those stores. *)
+      (** returns whether the key existed immediately before the delete's
+          linearization point — every adapter reports it exactly (the LSM
+          and SLM-DB stores decide existence atomically with their
+          tombstone insert; see [Lsm_tree.remove_existed]). *)
   scan : tid:int -> string -> int -> (string * bytes) list;
   quiesce : unit -> unit;
   recover : (unit -> unit) option;

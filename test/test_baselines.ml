@@ -288,6 +288,37 @@ let test_lsm_level_bytes_accounted () =
       Alcotest.(check bool) "level writes happened" true
         (Lsm_tree.level_bytes_written tree > 0))
 
+(* The delete contract the harness Kv layer now relies on: removal
+   reports whether the key existed, wherever its logical value lives —
+   memtable, flushed tables, or shadowed under a tombstone. *)
+let test_lsm_remove_existed () =
+  with_rocks (fun _ tree ->
+      Alcotest.(check bool) "absent key" false
+        (Lsm_tree.remove_existed tree "nope");
+      Lsm_tree.put tree "fresh" (value 1);
+      Alcotest.(check bool) "memtable-resident key" true
+        (Lsm_tree.remove_existed tree "fresh");
+      Alcotest.(check bool) "tombstoned key reads absent" false
+        (Lsm_tree.remove_existed tree "fresh");
+      (* Push a key out of the memtable so existence must be decided
+         against the durable levels. *)
+      Lsm_tree.put tree "durable" (value 2);
+      for i = 0 to 999 do
+        Lsm_tree.put tree (key i) (value ~size:100 i)
+      done;
+      Lsm_tree.quiesce tree;
+      Alcotest.(check bool) "flushed key still reads present" true
+        (Lsm_tree.remove_existed tree "durable");
+      Alcotest.(check bool) "and absent after its tombstone" false
+        (Lsm_tree.remove_existed tree "durable");
+      (* The harness view must agree with the engine verdict. *)
+      let kv = Prism_harness.Kv.of_lsm tree in
+      Lsm_tree.put tree "via-kv" (value 3);
+      Alcotest.(check bool) "Kv.delete reports prior existence" true
+        (kv.Prism_harness.Kv.delete ~tid:0 "via-kv");
+      Alcotest.(check bool) "Kv.delete reports prior absence" false
+        (kv.Prism_harness.Kv.delete ~tid:0 "via-kv"))
+
 (* ---- Slmdb ---- *)
 
 let with_slmdb f =
@@ -313,6 +344,30 @@ let test_slmdb_basic () =
       Slmdb.remove db "a";
       Alcotest.(check (option string)) "removed" None
         (Option.map Bytes.to_string (Slmdb.get db "a")))
+
+let test_slmdb_remove_existed () =
+  with_slmdb (fun _ db ->
+      Alcotest.(check bool) "absent key" false
+        (Slmdb.remove_existed db "nope");
+      Slmdb.put db "fresh" (Bytes.of_string "v");
+      Alcotest.(check bool) "memtable-resident key" true
+        (Slmdb.remove_existed db "fresh");
+      Alcotest.(check bool) "tombstoned key reads absent" false
+        (Slmdb.remove_existed db "fresh");
+      Slmdb.put db "durable" (Bytes.of_string "w");
+      for i = 0 to 499 do
+        Slmdb.put db (key i) (value ~size:60 i)
+      done;
+      Alcotest.(check bool) "flushed key still reads present" true
+        (Slmdb.remove_existed db "durable");
+      Alcotest.(check bool) "and absent after its tombstone" false
+        (Slmdb.remove_existed db "durable");
+      let kv = Prism_harness.Kv.of_slmdb db in
+      Slmdb.put db "via-kv" (Bytes.of_string "x");
+      Alcotest.(check bool) "Kv.delete reports prior existence" true
+        (kv.Prism_harness.Kv.delete ~tid:0 "via-kv");
+      Alcotest.(check bool) "Kv.delete reports prior absence" false
+        (kv.Prism_harness.Kv.delete ~tid:0 "via-kv"))
 
 let test_slmdb_through_flush_and_compaction () =
   with_slmdb (fun _ db ->
@@ -579,10 +634,12 @@ let () =
           case "scan hides tombstones" test_lsm_scan_hides_tombstones;
           case "stalls counted" test_lsm_write_stalls_counted;
           case "level bytes" test_lsm_level_bytes_accounted;
+          case "remove reports existence" test_lsm_remove_existed;
         ] );
       ( "slmdb",
         [
           case "basic" test_slmdb_basic;
+          case "remove reports existence" test_slmdb_remove_existed;
           case "flush+compaction" test_slmdb_through_flush_and_compaction;
           case "scan" test_slmdb_scan;
         ] );

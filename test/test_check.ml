@@ -1127,6 +1127,59 @@ let test_fleet_sweep_deterministic () =
         (Crash_sweep.run ~jobs cfg = serial))
     [ 2; 4 ]
 
+let test_dpor_mispredict_tail_deterministic () =
+  (* Three lockstep writers on one key: every instant is a 3-way fully
+     dependent tie set, so each committed run creates shallow frontier
+     nodes that preempt the speculative window's in-flight predictions.
+     This is the mispredict path whose tail used to be discarded
+     wholesale instead of re-predicted; the regression it guards: class
+     set, run numbering and commit sequence must stay byte-identical to
+     the serial walk even when every refill mispredicts, on a budget
+     large enough to refill the window several times. *)
+  let progs = List.init 3 (fun _ -> [ (0, true); (0, true); (0, true) ]) in
+  let run ~choose = micro_run progs ~tie:(Engine.Guided choose) in
+  let walk jobs =
+    let commits = ref [] in
+    let report =
+      Prism_fleet.Fleet.with_pool ~jobs (fun pool ->
+          Dpor.explore ~pool
+            ~on_commit:(fun ~run:r result -> commits := (r, result) :: !commits)
+            ~max_classes:20 ~dependent:History.conflicting run)
+    in
+    (report, List.rev !commits)
+  in
+  let serial, serial_commits = walk 1 in
+  Alcotest.(check bool) "budget exceeds every speculative window" true
+    (serial.Dpor.runs > 2 * 4);
+  Alcotest.(check int) "budget truncates the walk" 20 serial.Dpor.explored;
+  List.iter
+    (fun jobs ->
+      let par, par_commits = walk jobs in
+      Alcotest.(check bool)
+        (Printf.sprintf "class list identical at jobs=%d" jobs)
+        true
+        (List.map
+           (fun c ->
+             (c.Dpor.index, c.Dpor.run, c.Dpor.depth, c.Dpor.choices,
+              c.Dpor.result))
+           par.Dpor.classes
+        = List.map
+            (fun c ->
+              (c.Dpor.index, c.Dpor.run, c.Dpor.depth, c.Dpor.choices,
+               c.Dpor.result))
+            serial.Dpor.classes);
+      Alcotest.(check int)
+        (Printf.sprintf "run count identical at jobs=%d" jobs)
+        serial.Dpor.runs par.Dpor.runs;
+      Alcotest.(check int)
+        (Printf.sprintf "pruned count identical at jobs=%d" jobs)
+        serial.Dpor.pruned par.Dpor.pruned;
+      Alcotest.(check bool)
+        (Printf.sprintf "commit sequence identical at jobs=%d" jobs)
+        true
+        (par_commits = serial_commits))
+    [ 2; 3; 4 ]
+
 let () =
   Alcotest.run "check"
     [
@@ -1213,5 +1266,7 @@ let () =
           case "explore identical across jobs" test_fleet_explore_deterministic;
           case "dpor identical across jobs" test_fleet_dpor_deterministic;
           case "crash-sweep identical across jobs" test_fleet_sweep_deterministic;
+          case "mispredicted speculative tails re-predicted"
+            test_dpor_mispredict_tail_deterministic;
         ] );
     ]
